@@ -1,0 +1,43 @@
+"""Design-choice ablations DESIGN.md calls out.
+
+1. Tree edge-cover parameter k (gamma*'s preprocessing knob).
+2. GHS cost decomposition (the E-term vs the V log n-term of Lemma 8.1).
+3. Hybrid race initial budget insensitivity.
+
+Delegates to the experiments package.
+"""
+
+from repro.experiments.clock_sync import cover_sweep
+from repro.experiments.connectivity import _budget_ablation
+from repro.experiments.mst import ghs_decomposition
+
+from .util import once, print_table
+
+
+def _run_all():
+    return cover_sweep(), ghs_decomposition(), _budget_ablation()
+
+
+def test_ablations(benchmark):
+    (p, cover_rows), ghs_table, budget_table = once(benchmark, _run_all)
+    print_table(
+        f"Ablation 1: tree edge-cover k for gamma*  [{p}]",
+        ["k", "#trees", "max depth", "edge load", "pulse delay",
+         "cost/pulse"],
+        cover_rows,
+    )
+    print_table(ghs_table.title, ghs_table.header, ghs_table.rows)
+    print_table(budget_table.title, budget_table.header, budget_table.rows)
+    # Cover trade-off: edge load shrinks (or stays) as k grows.
+    loads = [r[3] for r in cover_rows]
+    assert loads[-1] <= loads[0]
+    # GHS decomposition: both normalized terms stay O(1) across the sweep.
+    for row in ghs_table.rows:
+        assert row[4] <= 4.0       # probe/E
+        assert row[6] <= 6.0       # tree/(V log n)
+    # Budget insensitivity: total cost varies < 4x across a 512x sweep of
+    # the initial budget, and the winner never changes.
+    totals = [r[3] for r in budget_table.rows]
+    winners = {r[2] for r in budget_table.rows}
+    assert max(totals) <= 4 * min(totals)
+    assert len(winners) == 1

@@ -1,0 +1,58 @@
+"""Section 3 results — clock synchronization pulse delays.
+
+Claims:
+    alpha*:      pulse delay Theta(W)
+    beta*:       pulse delay ~ tree depth ~ Theta(D)
+    gamma*:      pulse delay O(d log^2 n)   — independent of W
+    lower bound: Omega(d)
+
+Delegates to :mod:`repro.experiments.clock_sync` (W sweep at fixed d,
+serialized-link variant, tree edge-cover ablation).
+"""
+
+import math
+
+from repro.experiments.clock_sync import N, WEIGHTS, cover_sweep, weight_sweep
+
+from .util import once, print_table
+
+
+def _run_all():
+    return weight_sweep(), weight_sweep(serialize=True), cover_sweep()
+
+
+def test_clock_sync_pulse_delays(benchmark):
+    rows, ser_rows, (cover_p, cover_rows) = once(benchmark, _run_all)
+    header = ["W", "d", "alpha* delay", "beta* delay", "gamma* delay",
+              "gamma*/d"]
+    print_table(
+        f"Clock synchronization on ring({N}) + heavy chord", header, rows
+    )
+    print_table("Same sweep under serialized links (congestion regime)",
+                header, ser_rows)
+    print_table(
+        f"Ablation: tree edge-cover k for gamma*  [{cover_p}]",
+        ["k", "#trees", "max depth", "edge load", "pulse delay",
+         "cost/pulse"],
+        cover_rows,
+    )
+    d = rows[0][1]
+    log2n = math.log2(N)
+    for row in rows:
+        w = row[0]
+        # alpha* waits for the heavy chord: delay >= W.
+        assert row[2] >= w - 1e-9
+        # gamma* stays within O(d log^2 n), INDEPENDENT of W...
+        assert row[4] <= 8 * d * log2n**2
+        # ...and respects the Omega(d) lower bound.
+        assert row[4] >= d - 1e-9
+    # Serialized links: congestion may add up to another O(log n) factor
+    # but never reintroduces a W dependence.
+    for row in ser_rows:
+        assert row[4] <= 8 * d * log2n**3
+    # Shape: alpha* grows ~linearly in W; gamma* stays flat.
+    assert rows[-1][2] / rows[0][2] >= 0.5 * (WEIGHTS[-1] / WEIGHTS[0])
+    assert rows[-1][4] == rows[0][4]
+    # Cover ablation: larger k lowers the per-edge load (or ties).
+    loads = [r[3] for r in cover_rows]
+    assert loads[-1] <= loads[0]

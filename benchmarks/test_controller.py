@@ -1,0 +1,37 @@
+"""Section 5 results — controller overhead and runaway capping.
+
+Corollary 5.1: ``c_phi = t_phi = O(c_pi log^2 c_pi)``; incorrect
+executions halted with consumption <= 2 * threshold.
+
+Delegates to :mod:`repro.experiments.controller`.
+"""
+
+from repro.experiments.controller import overhead_sweep, runaway_sweep
+
+from .util import once, print_table
+
+
+def _run_all():
+    return overhead_sweep(), runaway_sweep()
+
+
+def test_controller_overhead_and_capping(benchmark):
+    sweep_rows, runaway_rows = once(benchmark, _run_all)
+    print_table(
+        "Controller overhead (correct executions, threshold = c_pi)",
+        ["n", "chunks", "c_pi", "naive ctl cost", "aggr ctl cost",
+         "aggr / (c log^2 c)", "naive/aggr"],
+        sweep_rows,
+    )
+    print_table(
+        "Runaway protocols halted (Cor 5.1: consumption <= 2 x threshold)",
+        ["threshold", "consumed", "consumed/threshold"],
+        runaway_rows,
+    )
+    for row in sweep_rows:
+        # Corollary 5.1 envelope.
+        assert row[5] <= 1.0
+    # Shape: the aggregated controller's advantage grows with size.
+    assert sweep_rows[-1][6] > sweep_rows[0][6]
+    for row in runaway_rows:
+        assert row[2] <= 2.0 + 1e-9

@@ -1,0 +1,28 @@
+"""Figure 1 — global function computation: Theta(V) comm, Theta(D) time.
+
+Paper's table:
+    upper bound: O(V) communication, O(D) time   (Corollary 2.3, via SLTs)
+    lower bound: Omega(V) communication, Omega(D) time  (Theorem 2.1)
+
+Delegates to :mod:`repro.experiments.global_function` and asserts the
+bound ratios hold at every swept size.
+"""
+
+from repro.experiments.global_function import Q, run as run_experiment
+
+from .util import once, print_table
+
+
+def test_fig1_global_function_bounds(benchmark):
+    (table,) = once(benchmark, run_experiment)
+    print_table(table.title, table.header, table.rows)
+    for row in table.rows:
+        comm_ratio, time_ratio = row[5], row[7]
+        # Lower bound (Thm 2.1): no correct protocol may beat Omega(V).
+        assert comm_ratio >= 1.0 - 1e-9
+        # Upper bound (Cor 2.3): converge + broadcast over the SLT.
+        assert comm_ratio <= 2.0 * (1.0 + 2.0 / Q) + 1e-9
+        assert time_ratio <= 2.0 * (2.0 * Q + 1.0) + 1e-9
+    # Shape: the ratios do not grow with n (bounds tight up to constants).
+    ratios = table.column("comm/V")
+    assert ratios[-1] <= 2.5 * max(1.0, ratios[0])

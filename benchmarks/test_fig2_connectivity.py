@@ -1,0 +1,53 @@
+"""Figure 2 — connectivity / spanning tree algorithms.
+
+Paper's table:
+    DFS          O(E) comm, O(E) time
+    CON_flood    O(E) comm, O(D) time
+    CON_hybrid   O(min{E, nV}) comm
+    lower bound  Omega(min{E, nV}) comm, Omega(D) time
+
+Delegates to :mod:`repro.experiments.connectivity` (two regimes + the
+hybrid budget ablation) and asserts the crossover shape.
+"""
+
+from repro.experiments.connectivity import connectivity_suite
+from repro.graphs import lower_bound_graph, random_connected_graph
+
+from .util import once, print_table
+
+
+def _run_all():
+    light = random_connected_graph(40, 80, seed=2, max_weight=4)
+    heavy = lower_bound_graph(20)
+    return (connectivity_suite(light, 0), connectivity_suite(heavy, 1))
+
+
+def test_fig2_connectivity(benchmark):
+    (p1, costs1, winner1), (p2, costs2, winner2) = once(benchmark, _run_all)
+
+    for label, p, costs in (
+        ("light random graph (E << nV)", p1, costs1),
+        ("lower-bound family G_20 (E >> nV)", p2, costs2),
+    ):
+        min_bound = min(p.E, p.n * p.V)
+        rows = [[name, c, t, c / min_bound] for name, (c, t) in costs.items()]
+        rows.append(["Omega(min{E,nV})", min_bound, p.D, 1.0])
+        print_table(
+            f"Figure 2: connectivity on {label}  [{p}]",
+            ["algorithm", "comm", "time", "comm/min(E,nV)"],
+            rows,
+        )
+        # Upper bounds: flood <= 2E, DFS O(E), hybrid O(min).  The hybrid's
+        # constant decomposes as ~4 (DFS edge traversals per edge) x ~8
+        # (dovetailing: both arms pay up to twice the final budget).
+        assert costs["CON_flood"][0] <= 2 * p.E + 1e-9
+        assert costs["DFS"][0] <= 12 * p.E
+        assert costs["CON_hybrid"][0] <= 48 * min_bound
+
+    # Shape claims: on G_n the hybrid must beat the E-algorithms by a wide
+    # margin and be realized by its MST_centr arm.
+    assert winner2 == "MST_centr"
+    assert costs2["CON_hybrid"][0] < costs2["CON_flood"][0] / 10
+    assert costs2["CON_hybrid"][0] < costs2["DFS"][0] / 10
+    # On the light graph the DFS arm wins the race.
+    assert winner1 == "DFS"

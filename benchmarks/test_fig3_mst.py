@@ -1,0 +1,53 @@
+"""Figure 3 — minimum spanning tree algorithms.
+
+Paper's table:
+    MST_ghs     O(E + V log n) comm
+    MST_centr   O(n V) comm, O(n Diam(MST)) time
+    MST_fast    O(E log n log V) comm, O(Diam(MST) log V log n) time
+    MST_hybrid  O(min{E + V log n, n V}) comm
+    lower bound Omega(min{E, n V}), Omega(D)
+
+Delegates to :mod:`repro.experiments.mst` and asserts bound ratios plus
+the who-wins ordering on both regimes.
+"""
+
+from repro.experiments.mst import figure3_bounds, mst_suite
+from repro.graphs import lower_bound_graph, random_connected_graph
+
+from .util import once, print_table
+
+
+def _run_all():
+    light = random_connected_graph(40, 100, seed=4, max_weight=4)
+    heavy = lower_bound_graph(18)
+    return (mst_suite(light, 0), mst_suite(heavy, 1))
+
+
+def test_fig3_mst(benchmark):
+    (p1, costs1, winner1), (p2, costs2, winner2) = once(benchmark, _run_all)
+
+    for label, p, costs in (
+        ("light random graph", p1, costs1),
+        ("lower-bound family G_18", p2, costs2),
+    ):
+        bounds = figure3_bounds(p)
+        rows = [
+            [name, costs[name][0], costs[name][1], b, costs[name][0] / b]
+            for name, b in bounds.items()
+        ]
+        print_table(
+            f"Figure 3: MST algorithms on {label}  [{p}]",
+            ["algorithm", "comm", "time", "paper bound", "comm/bound"],
+            rows,
+        )
+        for name, b in bounds.items():
+            assert costs[name][0] <= 16 * b, f"{name} blew its bound on {label}"
+
+    # Shape: on the light graph GHS wins the hybrid race and MST_centr is
+    # the expensive one; on G_n the order flips.
+    assert winner1 == "MST_ghs"
+    assert costs1["MST_ghs"][0] < costs1["MST_centr"][0]
+    assert winner2 == "MST_centr"
+    assert costs2["MST_centr"][0] < costs2["MST_ghs"][0] / 5
+    # MST_fast trades communication for time: its time beats serial GHS's.
+    assert costs1["MST_fast"][1] <= costs1["MST_ghs"][1]

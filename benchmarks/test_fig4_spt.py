@@ -1,0 +1,71 @@
+"""Figure 4 — shortest path tree algorithms (+ the Figure 9 strip ablation).
+
+Paper's table:
+    SPT_centr   O(w(SPT) n) = O(n^2 V) comm,  O(n D) time
+    SPT_recur   O(E^{1+eps}) comm/time  (ours: strip method)
+    SPT_synch   O(E + D k n log n) comm, O(D log_k n log n) time
+    SPT_hybrid  min of the above
+    lower bound Omega(min{E, nV}) comm, Omega(D) time
+
+Delegates to :mod:`repro.experiments.spt`.
+"""
+
+import math
+
+from repro.experiments.spt import K, figure4_bounds, spt_suite, strip_sweep
+from repro.graphs import random_connected_graph
+
+from .util import once, print_table
+
+
+def _run_all():
+    graph = random_connected_graph(30, 50, seed=4, max_weight=6)
+    p, costs = spt_suite(graph)
+    strips = strip_sweep(graph)
+    return p, costs, strips
+
+
+def test_fig4_spt(benchmark):
+    p, costs, strip_rows = once(benchmark, _run_all)
+    bounds = figure4_bounds(p)
+    rows = []
+    for name, (c, t) in costs.items():
+        b = bounds[name]
+        rows.append([name, c, t, b if b else "min", c / b if b else ""])
+    print_table(
+        f"Figure 4: SPT algorithms  [{p}]",
+        ["algorithm", "comm", "time", "paper bound", "comm/bound"],
+        rows,
+    )
+    print_table(
+        "Figure 9 ablation: SPT_recur strip stride d",
+        ["stride d", "comm", "sync cost", "explore cost", "time"],
+        strip_rows,
+    )
+    logn = math.log2(p.n)
+    assert costs["SPT_centr"][0] <= 4 * p.n * p.n * p.V
+    assert costs["SPT_synch"][0] <= 8 * (p.E + p.D * K * p.n * logn)
+    # Hybrid lands within a dovetailing constant of the best arm.
+    best = min(costs["SPT_synch"][0], costs["SPT_recur"][0])
+    assert costs["SPT_hybrid"][0] <= 10 * best
+    # Figure 9 shape: global-sync cost decreases with the stride.
+    assert strip_rows[-1][2] < strip_rows[0][2]
+
+
+def test_spt_weight_regimes(benchmark):
+    """Section 1.4.3: SPT_synch overtakes SPT_recur once weights are heavy."""
+    from repro.experiments.spt import weight_regime_sweep
+
+    rows = once(benchmark, weight_regime_sweep)
+    print_table(
+        "Section 1.4.3 regimes: SPT_synch vs SPT_recur as weights grow",
+        ["scale", "W", "synch comm", "recur comm", "synch/recur",
+         "synch time", "recur time"],
+        rows,
+    )
+    ratios = [r[4] for r in rows]
+    # The relative cost of SPT_synch falls monotonically with the scale...
+    assert all(b < a for a, b in zip(ratios, ratios[1:]))
+    # ...and crosses below 1 (SPT_synch wins) in the heaviest regime.
+    assert ratios[-1] < 1.0
+    assert rows[-1][5] < rows[-1][6]  # it wins on time as well

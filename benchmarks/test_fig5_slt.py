@@ -1,0 +1,41 @@
+"""Figure 5/6 — the shallow-light tree algorithm and Theorem 2.7.
+
+Lemma 2.4:  w(T)    <= (1 + 2/q) V
+Lemma 2.5:  depth(T) = O(q D)
+Theorem 2.7: distributed construction in O(V n^2) comm, O(D n^2) time.
+
+Delegates to :mod:`repro.experiments.slt`.
+"""
+
+from repro.experiments.slt import distributed_sweep, q_sweep
+from repro.graphs import spoke_graph
+
+from .util import once, print_table
+
+
+def _run_all():
+    graph = spoke_graph(30, spoke_weight=100.0, rim_weight=1.0)
+    p, q_rows = q_sweep(graph)
+    return p, q_rows, distributed_sweep()
+
+
+def test_fig5_slt_tradeoff_and_distributed(benchmark):
+    p, q_rows, n_rows = once(benchmark, _run_all)
+    print_table(
+        f"Figure 5/6: SLT trade-off on the spoke graph  [{p}]",
+        ["tree", "weight", "weight/V", "diam<=2depth", "(1+2/q)"],
+        q_rows,
+    )
+    print_table(
+        "Theorem 2.7: distributed SLT construction (q = 2)",
+        ["n", "comm", "comm/(V n^2)", "time", "time/(D n^2)", "w(T)/V"],
+        n_rows,
+    )
+    # Theorem 2.7 bounds (generous constants); per-q Lemma 2.4/2.5 bounds
+    # are asserted inside q_sweep itself.
+    for row in n_rows:
+        assert row[2] <= 8.0   # comm / (V n^2)
+        assert row[4] <= 8.0   # time / (D n^2)
+        assert row[5] <= 2.0 + 1e-6  # w(T)/V at q=2
+    # Shape: the normalized ratios shrink or stay flat as n grows.
+    assert n_rows[-1][2] <= max(1.0, 2 * n_rows[0][2])

@@ -1,0 +1,47 @@
+"""Figures 7/8 — the Omega(n V) connectivity lower bound on G_n.
+
+Lemma 7.2: any correct comparison-based spanning-tree algorithm needs
+``X * sum_i (n + 1 - 2i) >= n^2 X / 4`` communication on G_n.  Delegates
+to :mod:`repro.experiments.lower_bound` and asserts tightness (a flat
+measured/bound ratio).
+"""
+
+from repro.experiments.lower_bound import gn_sweep
+
+from .util import once, print_table
+
+
+def test_fig7_lower_bound_family(benchmark):
+    rows = once(benchmark, gn_sweep)
+    print_table(
+        "Figure 7: connectivity on G_n (X = n+1; bypass edges X^4)",
+        ["n", "E", "nV", "Omega(n^2 X/4)", "measured", "ratio", "winner"],
+        rows,
+    )
+    ratios = [r[5] for r in rows]
+    for r in rows:
+        # Lower bound respected...
+        assert r[4] >= r[3] - 1e-9
+        # ...and the E-side never wins here (bypass edges are prohibitive).
+        assert r[6] == "MST_centr"
+        assert r[4] < r[1]  # far below script-E
+    # Tightness: measured / lower-bound ratio stays bounded as n grows.
+    assert max(ratios) <= 4 * min(ratios)
+
+
+def test_unity_weight_E_side(benchmark):
+    """[AGPV89]: with unity weights the bound's E side binds — the hybrid's
+    cost per unit of E stays O(1) as the graph scales."""
+    from repro.experiments.lower_bound import unity_sweep
+
+    rows = once(benchmark, unity_sweep)
+    print_table(
+        "[AGPV89] side: unity weights (E << nV)",
+        ["n", "m", "E", "measured", "measured/E", "winner"],
+        rows,
+    )
+    ratios = [r[4] for r in rows]
+    for r in rows:
+        assert r[3] >= r[2]          # Omega(E) respected
+        assert r[5] == "DFS"         # the E-arm wins this regime
+    assert max(ratios) <= 3 * min(ratios)  # flat: Theta(E)

@@ -1,0 +1,40 @@
+"""Section 4 results — synchronizer gamma_w amortized overheads.
+
+Claims (Lemma 4.8, with W = poly(n)):
+    C(gamma_w) = O(k n log n)        communication overhead per pulse
+    T(gamma_w) = O(log_k n log n)    time per pulse
+
+Delegates to :mod:`repro.experiments.synchronizer` (k sweep + n sweep);
+output equivalence with the synchronous reference is asserted inside.
+"""
+
+from repro.experiments.synchronizer import k_sweep, n_sweep
+
+from .util import once, print_table
+
+
+def _run_all():
+    return k_sweep(), n_sweep()
+
+
+def test_synchronizer_gamma_w_overheads(benchmark):
+    (p, k_rows), n_rows = once(benchmark, _run_all)
+    print_table(
+        f"gamma_w: k sweep  [{p}]",
+        ["k", "pulses", "C/pulse", "C / (k n log n)",
+         "T/pulse", "T / (log_k n log n)"],
+        k_rows,
+    )
+    print_table(
+        "gamma_w: n sweep (k = 2)",
+        ["n", "pulses", "payload cost", "overhead cost", "C/pulse",
+         "C / (k n log n)"],
+        n_rows,
+    )
+    # Envelope: per-pulse communication overhead within O(k n log n).
+    for row in k_rows:
+        assert row[3] <= 4.0
+    for row in n_rows:
+        assert row[5] <= 4.0
+    # Shape: normalized C/pulse does not grow with n (the n log n law).
+    assert n_rows[-1][5] <= 2.0 * max(0.25, n_rows[0][5])

@@ -1,0 +1,56 @@
+"""Ablation — network synchronizers alpha_w vs beta_w vs gamma_w.
+
+    alpha_w: C/pulse = Theta(E),   T/pulse = Theta(W)
+    beta_w:  C/pulse = Theta(V),   T/pulse = Theta(D)    (over an SLT)
+    gamma_w: C/pulse = O(k n log n), T/pulse = O(log_k n log n)
+
+Delegates to :mod:`repro.experiments.synchronizer.synchronizer_comparison`
+on three deciding workloads.
+"""
+
+from repro.experiments.synchronizer import synchronizer_comparison
+from repro.graphs import (
+    heavy_edge_clock_graph,
+    network_params,
+    path_graph,
+    random_connected_graph,
+)
+
+from .util import once, print_table
+
+
+def _workloads():
+    heavy = heavy_edge_clock_graph(14, heavy=128.0)
+    deep = path_graph(24, weight=2.0)
+    dense = random_connected_graph(20, 60, seed=12, max_weight=4)
+    return {
+        "heavy edge (W >> d)": (heavy, *synchronizer_comparison(heavy)),
+        "deep path (large D)": (deep, *synchronizer_comparison(deep)),
+        "dense random": (dense, *synchronizer_comparison(dense)),
+    }
+
+
+def test_synchronizer_ablation(benchmark):
+    data = once(benchmark, _workloads)
+    for label, (graph, rows, _results) in data.items():
+        print_table(
+            f"Synchronizer ablation on {label}  [{network_params(graph)}]",
+            ["synchronizer", "pulses", "C/pulse", "T/pulse",
+             "total comm", "total time"],
+            rows,
+        )
+    # Heavy-edge workload: alpha_w's per-pulse time tracks W; gamma_w's
+    # does not (its level structure touches the heavy edge rarely).
+    _, _, heavy_res = data["heavy edge (W >> d)"]
+    assert heavy_res["gamma_w"].time_per_pulse < \
+        heavy_res["alpha_w"].time_per_pulse / 4
+    # Deep-path workload: beta_w's per-pulse time tracks D; the others don't.
+    _, _, deep_res = data["deep path (large D)"]
+    assert deep_res["alpha_w"].time_per_pulse < \
+        deep_res["beta_w"].time_per_pulse / 4
+    assert deep_res["gamma_w"].time_per_pulse < \
+        deep_res["beta_w"].time_per_pulse / 4
+    # Dense workload: beta_w's control cost (~V per pulse over the SLT)
+    # beats alpha_w's (~E per pulse).
+    _, _, dense_res = data["dense random"]
+    assert dense_res["beta_w"].control_cost < dense_res["alpha_w"].control_cost

@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper: it
+runs the relevant algorithms on the paper's workloads, prints the
+measured cost-sensitive complexities next to the claimed bounds (the
+rows/series of the original artifact), and asserts the *shape* claims —
+who wins, by what rough factor, where the crossovers sit.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+(-s shows the tables; results are summarized in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render an aligned text table (the benchmark's 'figure')."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(header)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    print("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        print("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The simulations are deterministic and expensive; one round is the
+    honest measurement.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Clock synchronization demo (Section 3): alpha* vs beta* vs gamma*.
+
+Builds the regime the paper cares about — a network whose heaviest edge
+W is far larger than d (the maximum weighted distance between neighbors)
+— and compares the measured pulse delay of the three synchronizers against
+the Omega(d) lower bound and alpha*'s Theta(W).
+
+Run:  python examples/clock_sync_demo.py
+"""
+
+import math
+
+from repro.covers import build_tree_edge_cover
+from repro.graphs import heavy_edge_clock_graph, network_params
+from repro.synch import (
+    check_causality,
+    run_alpha_star,
+    run_beta_star,
+    run_gamma_star,
+)
+
+
+def main() -> None:
+    # A ring of 24 light edges plus one chord of weight 3000: the chord's
+    # endpoints are only d = 12 apart through the ring, but alpha* waits
+    # for the chord on every pulse.
+    graph = heavy_edge_clock_graph(24, heavy=3000.0)
+    p = network_params(graph)
+    pulses = 6
+    print("clock-sync instance:", p)
+    print(f"  lower bound on pulse delay: Omega(d) = {p.d:g}")
+    print(f"  alpha*'s handicap:          Theta(W) = {p.W:g}\n")
+
+    cover = build_tree_edge_cover(graph)
+    print(f"tree edge-cover: {len(cover.trees)} trees, "
+          f"max depth {cover.max_depth:g} "
+          f"(bound O(d log n) ~ {p.d * math.log2(p.n):.0f}), "
+          f"max edge load {cover.max_edge_load} "
+          f"(bound O(log n) ~ {math.log2(p.n):.1f})\n")
+
+    print(f"{'synchronizer':>14} {'max delay':>10} {'mean':>8} {'cost/pulse':>11}")
+    for name, runner in (("alpha*", run_alpha_star),
+                         ("beta*", run_beta_star),
+                         ("gamma*", run_gamma_star)):
+        stats = runner(graph, pulses)
+        check_causality(graph, stats)  # pulse p after neighbors' pulse p-1
+        print(f"{name:>14} {stats.max_pulse_delay:10g} "
+              f"{stats.mean_pulse_delay:8.1f} {stats.comm_cost_per_pulse:11.1f}")
+
+    print("\nalpha* pays W per pulse; beta* pays ~2 x tree depth; gamma*'s")
+    print("delay is O(d log^2 n), independent of the heavy chord entirely.")
+
+
+if __name__ == "__main__":
+    main()

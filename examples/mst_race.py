@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The MST algorithm suite and the hybrid race (Sections 7-8).
+
+Runs every MST algorithm of Figure 3 on two opposite regimes:
+
+* a *light* graph (E << n V): the GHS family wins;
+* the paper's lower-bound family G_n (E >> n V because of the weight-X^4
+  bypass edges): MST_centr wins, and the hybrid tracks the winner within
+  a constant factor — matching the Omega(min{E, nV}) lower bound of
+  Section 7.1.
+
+Run:  python examples/mst_race.py
+"""
+
+from repro.core.lower_bounds import connectivity_comm_lower_bound
+from repro.graphs import lower_bound_graph, network_params, random_connected_graph
+from repro.protocols import (
+    run_mst_centr,
+    run_mst_fast,
+    run_mst_ghs,
+    run_mst_hybrid,
+)
+
+
+def show(name, cost, time, tree, params):
+    ok = "ok" if tree is not None and tree.is_tree() else "FAILED"
+    print(f"{name:>11}: comm {cost:12.0f}   time {time:10.0f}   [{ok}]")
+
+
+def run_suite(graph, root, label):
+    p = network_params(graph)
+    print(f"\n=== {label} ===")
+    print(f"    {p}")
+    print(f"    regimes: E = {p.E:g}  vs  n*V = {p.n * p.V:g}   "
+          f"lower bound Omega(min) ~ {connectivity_comm_lower_bound(graph):g}")
+
+    r, t = run_mst_ghs(graph)
+    show("MST_ghs", r.comm_cost, r.time, t, p)
+    r, t = run_mst_fast(graph)
+    show("MST_fast", r.comm_cost, r.time, t, p)
+    r, t = run_mst_centr(graph, root)
+    show("MST_centr", r.comm_cost, r.time, t, p)
+    outcome = run_mst_hybrid(graph, root)
+    show("MST_hybrid", outcome.total_comm_cost, outcome.total_time,
+         outcome.output, p)
+    print(f"    hybrid race: {outcome}")
+    print("    race history (algorithm, budget, spent, finished):")
+    for name, budget, cost, done in outcome.history:
+        print(f"      {name:>10}  budget {budget:10.0f}  "
+              f"spent {cost:10.0f}  {'done' if done else 'aborted'}")
+
+
+def main() -> None:
+    # Regime 1: light dense-ish graph -> GHS-family territory.
+    g1 = random_connected_graph(40, 120, seed=3, max_weight=4)
+    run_suite(g1, 0, "light random graph (E << nV)")
+
+    # Regime 2: the G_n lower-bound family -> MST_centr territory.
+    g2 = lower_bound_graph(18)
+    run_suite(g2, 1, "lower-bound family G_18 (E >> nV)")
+
+
+if __name__ == "__main__":
+    main()

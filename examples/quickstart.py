@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: cost-sensitive complexity in five minutes.
+
+Builds a weighted network, inspects its weighted parameters
+(script-E / script-V / script-D), constructs a shallow-light tree, and
+computes a global function over it with Theta(V) communication and
+Theta(D) time — the headline result of Section 2 of the paper.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    MAX,
+    SUM,
+    compute_global_function,
+    global_function_comm_lower_bound,
+    shallow_light_tree,
+)
+from repro.graphs import (
+    network_params,
+    prim_mst,
+    random_connected_graph,
+    shortest_path_tree,
+    tree_distances,
+)
+
+
+def main() -> None:
+    # A random connected network with integer edge weights in [1, 10]:
+    # w(e) is both the cost of a message on e and a bound on its delay.
+    graph = random_connected_graph(n=60, extra_edges=90, seed=7)
+    params = network_params(graph)
+    print("network:", params)
+    print(f"  script-E (total weight)  = {params.E:g}")
+    print(f"  script-V (MST weight)    = {params.V:g}")
+    print(f"  script-D (diameter)      = {params.D:g}")
+
+    # The two classical trees pull in opposite directions...
+    root = 0
+    mst = prim_mst(graph, root)
+    spt = shortest_path_tree(graph, root)
+    mst_depth = max(tree_distances(mst, root).values())
+    spt_depth = max(tree_distances(spt, root).values())
+    print("\ntree        weight     depth")
+    print(f"MST   {mst.total_weight():10g}{mst_depth:10g}")
+    print(f"SPT   {spt.total_weight():10g}{spt_depth:10g}")
+
+    # ...and the shallow-light tree (Figure 5) gets both at once:
+    # w(T) <= (1 + 2/q) V  and  depth(T) = O(q D).
+    for q in (0.5, 2.0, 8.0):
+        slt = shallow_light_tree(graph, root, q=q)
+        print(f"SLT q={q:<4g}{slt.weight:8g}{slt.depth():10g}"
+              f"   (weight bound {(1 + 2 / q) * params.V:g})")
+
+    # Global function computation over the SLT: every node ends up with the
+    # global value; communication is within 2*w(SLT) = O(V).
+    inputs = {v: (v * 37) % 101 for v in graph.vertices}
+    result, value = compute_global_function(graph, inputs, MAX, q=2.0)
+    print(f"\nglobal max = {value} "
+          f"(sequential oracle: {max(inputs.values())})")
+    print(f"communication spent: {result.comm_cost:g}  "
+          f"(lower bound Omega(V) = {global_function_comm_lower_bound(graph):g})")
+    print(f"completion time:     {result.finish_time:g}  "
+          f"(lower bound Omega(D) = {params.D:g})")
+
+    result2, total = compute_global_function(graph, inputs, SUM, q=2.0)
+    print(f"global sum = {total} with cost {result2.comm_cost:g}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Figure 6 walkthrough: the SLT algorithm step by step.
+
+Reproduces the style of the paper's Figure 6 example on the hub-and-spoke
+graph from [BKJ83] that motivates shallow-light trees: the SPT from the
+hub is shallow but n times too heavy, the MST is light but n times too
+deep.  We trace the Euler tour, the breakpoint scan and the added SPT
+paths, then sweep the trade-off knob q.
+
+Run:  python examples/slt_walkthrough.py
+"""
+
+from repro.core import shallow_light_tree
+from repro.graphs import (
+    network_params,
+    prim_mst,
+    shortest_path_tree,
+    spoke_graph,
+    tree_distances,
+)
+
+
+def main() -> None:
+    # Hub 0; spokes of weight 40 to tips 1..12; rim edges of weight 1.
+    graph = spoke_graph(12, spoke_weight=40.0, rim_weight=1.0)
+    params = network_params(graph)
+    print("the [BKJ83] tension instance:", params)
+
+    root = 0
+    mst = prim_mst(graph, root)
+    spt = shortest_path_tree(graph, root)
+    print(f"MST: weight {mst.total_weight():g}, "
+          f"depth {max(tree_distances(mst, root).values()):g}")
+    print(f"SPT: weight {spt.total_weight():g}, "
+          f"depth {max(tree_distances(spt, root).values()):g}")
+
+    # Step through the construction at q = 2.
+    res = shallow_light_tree(graph, root, q=2.0)
+    print("\n--- SLT construction trace (q = 2) ---")
+    print(f"Euler tour of the MST ({len(res.tour)} entries):")
+    print("  ", " -> ".join(str(v) for v in res.tour))
+    print(f"breakpoints on the line L (tour indices): {res.breakpoints}")
+    print("  i.e. at vertices:",
+          [res.tour[i] for i in res.breakpoints])
+    print(f"SPT-path weight added to the MST: {res.added_path_weight:g}")
+    print(f"subgraph G' weight: {res.subgraph.total_weight():g}")
+    print(f"final tree: weight {res.weight:g} "
+          f"(bound (1 + 2/q) V = {2.0 * params.V:g}), "
+          f"depth {res.depth():g} (D = {params.D:g})")
+
+    # The q sweep: how the guarantee envelope trades weight for depth.
+    print("\n--- q sweep ---")
+    print(f"{'q':>8} {'weight':>8} {'w-bound':>9} {'depth':>7} {'paths':>6}")
+    for q in (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 32.0):
+        r = shallow_light_tree(graph, root, q=q)
+        print(f"{q:8g} {r.weight:8g} {(1 + 2 / q) * params.V:9.1f} "
+              f"{r.depth():7g} {len(r.breakpoints) - 1:6d}")
+    print("\nsmall q -> shallow & heavy (SPT-like); "
+          "large q -> light & deep (MST-like).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Network synchronization demo (Section 4): synchronizer gamma_w.
+
+Takes a synchronous weighted Bellman-Ford (which assumes every message on
+edge e takes *exactly* w(e) time) and runs it, unchanged, on an
+*asynchronous* network where delays vary adversarially in [0, w(e)] —
+via synchronizer gamma_w.  Shows:
+
+* output equivalence with the reference synchronous execution,
+* the normalization/in-synch transformation of Lemma 4.5 (x4 slowdown,
+  power-of-two weights),
+* the synchronizer's amortized per-pulse overheads as k sweeps.
+
+Run:  python examples/synchronizer_demo.py
+"""
+
+from repro.graphs import dijkstra, network_params, random_connected_graph
+from repro.protocols import run_spt_synch, run_spt_synchronous_reference
+from repro.sim import UniformDelay
+
+
+def main() -> None:
+    graph = random_connected_graph(30, 45, seed=11, max_weight=8)
+    p = network_params(graph)
+    print("network:", p)
+
+    # Reference: the synchronous execution (c_pi, t_pi).
+    base, base_tree = run_spt_synchronous_reference(graph, 0)
+    print(f"\nsynchronous reference: comm {base.comm_cost:g}, "
+          f"pulses {base.pulses}")
+
+    # The same protocol under gamma_w on the asynchronous network, with
+    # uniformly random delays in [0, w(e)].
+    print(f"\n{'k':>3} {'payload':>9} {'acks':>8} {'gamma':>8} "
+          f"{'C/pulse':>9} {'T/pulse':>9} {'pulses':>7}")
+    for k in (2, 3, 5):
+        res, tree = run_spt_synch(graph, 0, k=k, delay=UniformDelay(),
+                                  seed=k)
+        # Verify: identical distances to the synchronous run.
+        dist, _ = dijkstra(graph, 0)
+        for v in graph.vertices:
+            d, _parent = res.result_of(v)
+            assert abs(d - dist[v]) < 1e-9, "output mismatch!"
+        print(f"{k:3d} {res.proto_cost:9g} {res.ack_cost:8g} "
+              f"{res.gamma_cost:8g} {res.comm_overhead_per_pulse:9.1f} "
+              f"{res.time_per_pulse:9.2f} {res.pulses:7d}")
+
+    print("\nEvery run reproduced the synchronous output exactly; the")
+    print("overhead C/pulse tracks O(k n log n) and T/pulse O(log_k n log n).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro: cost-sensitive analysis of communication protocols.
+
+A full reproduction of Awerbuch, Baratz, Peleg, "Cost-Sensitive Analysis
+of Communication Protocols" (PODC 1990 / MIT-LCS-TM-453): weighted
+complexity measures, shallow-light trees, clock and network synchronizers,
+controllers, and the connectivity / MST / SPT algorithm suites, on top of
+a discrete-event simulator of weighted asynchronous networks.
+
+Subpackages
+-----------
+graphs     weighted graphs, generators, MST/SPT oracles, network parameters
+covers     clusters, sparse-cover coarsening (Thm 1.1), tree edge-covers
+sim        the discrete-event simulator (async + weighted-synchronous)
+protocols  distributed algorithms (flood, DFS, MST/SPT suites, hybrids)
+core       the paper's contribution: measures, SLTs, global functions
+synch      clock synchronizers alpha*/beta*/gamma* and synchronizer gamma_w
+control    resource controllers (Section 5)
+"""
+
+__version__ = "1.0.0"
+
+from . import control, core, covers, experiments, graphs, protocols, sim, synch  # noqa: F401
+
+__all__ = [
+    "graphs",
+    "covers",
+    "sim",
+    "protocols",
+    "core",
+    "synch",
+    "control",
+    "experiments",
+    "__version__",
+]

@@ -1,0 +1,10 @@
+"""Controllers: resource-bounded execution of diffusing computations (Sec 5)."""
+
+from .controller import (
+    ControlledHost,
+    ControlOutcome,
+    run_controlled,
+    run_controlled_multi,
+)
+
+__all__ = ["ControlledHost", "ControlOutcome", "run_controlled", "run_controlled_multi"]

@@ -1,0 +1,72 @@
+"""The paper's primary contribution: cost measures, SLTs, global functions."""
+
+from .global_function import (
+    AND,
+    COUNT,
+    MAX,
+    MIN,
+    OR,
+    SUM,
+    XOR,
+    GlobalFunctionProcess,
+    SymmetricCompactFunction,
+    broadcast_value,
+    compute_global_function,
+    detect_termination,
+)
+from .lower_bounds import (
+    check_run_against_global_bounds,
+    connectivity_comm_lower_bound,
+    global_function_comm_lower_bound,
+    global_function_time_lower_bound,
+    id_transport_cost,
+)
+from .measures import CostReport, report
+from .slt import SltResult, TreeMetric, euler_tour, shallow_light_tree
+from .slt_distributed import DistributedSltOutcome, run_distributed_slt
+
+__all__ = [
+    "CostReport",
+    "report",
+    "SltResult",
+    "TreeMetric",
+    "euler_tour",
+    "shallow_light_tree",
+    "DistributedSltOutcome",
+    "run_distributed_slt",
+    "SymmetricCompactFunction",
+    "GlobalFunctionProcess",
+    "compute_global_function",
+    "broadcast_value",
+    "detect_termination",
+    "MAX",
+    "MIN",
+    "SUM",
+    "COUNT",
+    "XOR",
+    "AND",
+    "OR",
+    "global_function_comm_lower_bound",
+    "global_function_time_lower_bound",
+    "connectivity_comm_lower_bound",
+    "id_transport_cost",
+    "check_run_against_global_bounds",
+]
+
+from .id_flow import (  # noqa: E402
+    IdAuditedProcess,
+    extract_ids,
+    id_crossings,
+    lemma_7_1_meetings,
+    meeting_points,
+    run_audited,
+)
+
+__all__ += [
+    "IdAuditedProcess",
+    "extract_ids",
+    "run_audited",
+    "meeting_points",
+    "id_crossings",
+    "lemma_7_1_meetings",
+]

@@ -1,0 +1,90 @@
+"""Lower-bound witnesses (Theorem 2.1 and Section 7.1).
+
+The paper's lower bounds are information-theoretic; what a reproduction can
+do is (a) compute the exact bound value for each instance and (b) audit
+concrete runs against it.  Two families:
+
+* **Global functions (Thm 2.1).**  Any protocol computing a global
+  symmetric compact function uses edges forming a connected spanning
+  subgraph, hence communication >= ``script-V``; and some output vertex is
+  at weighted distance >= ``script-D`` from some input, hence time >=
+  ``script-D`` (against the maximal-delay adversary).
+
+* **Connectivity / spanning tree on G_n (Lemmas 7.1-7.2).**  On the family
+  ``G_n`` (light path of weight-X edges + weight-X^4 bypass edges), any
+  correct comparison-based algorithm must, for every ``1 <= i < n/2``,
+  bring together the id of ``i`` and the bypassing-register content of
+  ``n+1-i`` (or symmetrically), or the run is indistinguishable from one on
+  the split graph ``G_n^i`` where the algorithm fails.  Transporting that
+  id costs at least ``X * (n + 1 - 2i)`` (the path distance), so summing
+  over i gives ``Omega(n^2 X) = Omega(n * script-V)`` total.
+"""
+
+from __future__ import annotations
+
+from ..graphs.mst import mst_weight
+from ..graphs.paths import diameter
+from ..graphs.weighted_graph import WeightedGraph
+
+__all__ = [
+    "global_function_comm_lower_bound",
+    "global_function_time_lower_bound",
+    "connectivity_comm_lower_bound",
+    "id_transport_cost",
+    "check_run_against_global_bounds",
+]
+
+
+def global_function_comm_lower_bound(graph: WeightedGraph) -> float:
+    """``Omega(script-V)``: weight of the cheapest connected spanning subgraph."""
+    return mst_weight(graph)
+
+
+def global_function_time_lower_bound(graph: WeightedGraph) -> float:
+    """``Omega(script-D)``: information must cross the weighted diameter."""
+    return diameter(graph)
+
+
+def id_transport_cost(n: int, heavy: float | None = None) -> float:
+    """Lemma 7.2's exact sum for ``G_n``: ``X * sum_{i<n/2} (n + 1 - 2i)``.
+
+    This is the minimum total cost any correct spanning-tree algorithm pays
+    on ``G_n`` for transporting the pair-identifying ids along the light
+    path (bypass edges cost X^4 >= n * script-V each, so a cheap algorithm
+    never uses them).  The sum is ``>= n^2 X / 4``.
+    """
+    x = float(n + 1) if heavy is None else heavy
+    return x * sum(n + 1 - 2 * i for i in range(1, (n + 1) // 2))
+
+
+def connectivity_comm_lower_bound(graph: WeightedGraph) -> float:
+    """``Omega(min{script-E, n * script-V})`` for connectivity (Section 7).
+
+    Returned with the paper's constants dropped (coefficient 1/4 on the
+    ``n * V`` side, matching Lemma 7.2's ``n^2 X / 4``).
+    """
+    n = graph.num_vertices
+    e = graph.total_weight()
+    v = mst_weight(graph)
+    return min(e, n * v / 4.0)
+
+
+def check_run_against_global_bounds(
+    graph: WeightedGraph, comm_cost: float, time: float
+) -> dict[str, float]:
+    """Audit one global-function run against Theorem 2.1.
+
+    Returns the measured/lower-bound ratios (both must be >= 1 for any
+    correct protocol; raises AssertionError otherwise).
+    """
+    comm_lb = global_function_comm_lower_bound(graph)
+    time_lb = global_function_time_lower_bound(graph)
+    ratios = {
+        "comm_ratio": comm_cost / comm_lb if comm_lb > 0 else float("inf"),
+        "time_ratio": time / time_lb if time_lb > 0 else float("inf"),
+    }
+    if ratios["comm_ratio"] < 1.0 - 1e-9:
+        raise AssertionError(
+            f"communication {comm_cost} below the Omega(V) bound {comm_lb}"
+        )
+    return ratios

@@ -1,0 +1,66 @@
+"""Cost-sensitive complexity measures (paper Section 1.3).
+
+For a protocol ``pi`` executed on a weighted network:
+
+* ``c_pi`` — communication complexity: the sum of ``w(e)`` over all message
+  transmissions (size-weighted);
+* ``t_pi`` — time complexity: the physical completion time under delays in
+  ``[0, w(e)]`` (the benchmarks realize the worst case with the maximal
+  delay model).
+
+:class:`CostReport` pairs one run's measured complexities with the weighted
+network parameters so bound checks like "is this O(n * script-V)?" become
+one-line ratio computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs.params import NetworkParams, network_params
+from ..graphs.weighted_graph import WeightedGraph
+
+__all__ = ["CostReport", "report"]
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Measured cost-sensitive complexities of one protocol run."""
+
+    algorithm: str
+    params: NetworkParams
+    comm_cost: float      # c_pi
+    time: float           # t_pi
+    message_count: int
+
+    def comm_ratio(self, bound: float) -> float:
+        """``c_pi / bound`` — the constant hiding in an O(bound) claim."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.comm_cost / bound
+
+    def time_ratio(self, bound: float) -> float:
+        """``t_pi / bound``."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.time / bound
+
+    def __str__(self) -> str:
+        return (
+            f"{self.algorithm}: c={self.comm_cost:g} t={self.time:g} "
+            f"msgs={self.message_count} on [{self.params}]"
+        )
+
+
+def report(
+    algorithm: str,
+    graph: WeightedGraph,
+    comm_cost: float,
+    time: float,
+    message_count: int,
+    params: NetworkParams | None = None,
+) -> CostReport:
+    """Build a :class:`CostReport`, computing network parameters if needed."""
+    if params is None:
+        params = network_params(graph)
+    return CostReport(algorithm, params, comm_cost, time, message_count)

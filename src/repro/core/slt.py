@@ -1,0 +1,172 @@
+"""Shallow-light trees — the paper's central construction (Section 2.2-2.3).
+
+A spanning tree is *shallow-light* (SLT) if its diameter is ``O(script-D)``
+and its weight is ``O(script-V)`` *simultaneously*.  Shortest-path trees
+are shallow but may weigh ``Theta(n * V)``; minimum spanning trees are
+light but may be ``Theta(n * D)`` deep ([BKJ83]); the SLT algorithm of
+Figure 5 interpolates with a knob ``q > 0``:
+
+* ``w(T)    <= (1 + 2/q) * script-V``      (Lemma 2.4, exact), and
+* ``depth(T) <= (2q + 1) * script-D``       (Lemma 2.5's argument; the
+  paper states the bound as ``(q+1) * D`` measuring ``dist(v(B_t), x, Ts)``
+  against D — our constant is the one provable for arbitrary SPT tree
+  metrics, and both are ``O(q * D)``).
+
+The algorithm (Figure 5):
+
+1. build an MST ``TM`` and an SPT ``Ts`` rooted at ``v0``;
+2. unroll ``TM`` into its Euler tour "line" ``L`` (each tree edge appears
+   twice, so ``w(L) <= 2 * script-V``);
+3. scan L left-to-right placing *breakpoints*: the next breakpoint is the
+   first point whose L-distance from the previous breakpoint exceeds ``q``
+   times its Ts-tree-distance;
+4. add the Ts tree path between consecutive breakpoints to ``TM``,
+   obtaining subgraph ``G'``;
+5. output the shortest-path tree of ``G'`` rooted at ``v0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graphs.mst import prim_mst
+from ..graphs.paths import shortest_path_tree, tree_distances, tree_path
+from ..graphs.weighted_graph import Vertex, WeightedGraph
+
+__all__ = ["SltResult", "shallow_light_tree", "euler_tour", "TreeMetric"]
+
+
+def euler_tour(tree: WeightedGraph, root: Vertex) -> list[Vertex]:
+    """The DFS Euler tour ``v(0), ..., v(2n-2)`` of ``tree`` from ``root``.
+
+    Every tree edge is traversed exactly twice (once forward, once on the
+    backtrack), so the tour has ``2n - 1`` entries and total line weight
+    twice the tree weight.
+    """
+    tour: list[Vertex] = []
+    seen: set[Vertex] = set()
+
+    def visit(u: Vertex) -> None:
+        seen.add(u)
+        tour.append(u)
+        for v in tree.neighbors(u):
+            if v not in seen:
+                visit(v)
+                tour.append(u)
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 2 * tree.num_vertices + 100))
+    try:
+        visit(root)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return tour
+
+
+class TreeMetric:
+    """Pairwise distances in a tree via depths and ancestor walks.
+
+    ``dist(x, y) = depth(x) + depth(y) - 2 * depth(lca(x, y))``.
+    """
+
+    def __init__(self, tree: WeightedGraph, root: Vertex) -> None:
+        self.root = root
+        self.depth = tree_distances(tree, root)
+        self.parent: dict[Vertex, Vertex | None] = {root: None}
+        self.hops: dict[Vertex, int] = {root: 0}
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for v in tree.neighbors(u):
+                if v not in self.parent:
+                    self.parent[v] = u
+                    self.hops[v] = self.hops[u] + 1
+                    stack.append(v)
+
+    def lca(self, x: Vertex, y: Vertex) -> Vertex:
+        hx, hy = self.hops[x], self.hops[y]
+        while hx > hy:
+            x = self.parent[x]
+            hx -= 1
+        while hy > hx:
+            y = self.parent[y]
+            hy -= 1
+        while x != y:
+            x = self.parent[x]
+            y = self.parent[y]
+        return x
+
+    def dist(self, x: Vertex, y: Vertex) -> float:
+        a = self.lca(x, y)
+        return self.depth[x] + self.depth[y] - 2.0 * self.depth[a]
+
+
+@dataclass
+class SltResult:
+    """Output of the SLT algorithm plus its run diagnostics."""
+
+    tree: WeightedGraph          # the shallow-light spanning tree
+    root: Vertex
+    q: float
+    subgraph: WeightedGraph      # G' = MST + added SPT paths
+    breakpoints: list[int]       # line indices B_1 < B_2 < ...
+    tour: list[Vertex] = field(repr=False, default_factory=list)
+    added_path_weight: float = 0.0
+
+    @property
+    def weight(self) -> float:
+        return self.tree.total_weight()
+
+    def depth(self) -> float:
+        return max(tree_distances(self.tree, self.root).values(), default=0.0)
+
+
+def shallow_light_tree(
+    graph: WeightedGraph, root: Vertex, q: float = 2.0
+) -> SltResult:
+    """Construct a shallow-light spanning tree (Figure 5).
+
+    ``q`` trades weight for depth: weight <= (1 + 2/q) V, depth = O(q D).
+    """
+    if q <= 0:
+        raise ValueError("q must be positive")
+    if root not in graph:
+        raise KeyError(f"root {root!r} not in graph")
+    n = graph.num_vertices
+    if n == 1:
+        single = WeightedGraph(vertices=[root])
+        return SltResult(single, root, q, single, [], [root], 0.0)
+
+    tm = prim_mst(graph, root)
+    ts = shortest_path_tree(graph, root)
+    ts_metric = TreeMetric(ts, root)
+
+    # Step 2-3: Euler tour of the MST and the line L's prefix weights.
+    tour = euler_tour(tm, root)
+    prefix = [0.0]
+    for i in range(len(tour) - 1):
+        prefix.append(prefix[-1] + tm.weight(tour[i], tour[i + 1]))
+
+    # Step 4: breakpoint scan.
+    subgraph = tm.copy()
+    breakpoints = [0]
+    added_weight = 0.0
+    x = 0
+    for y in range(1, len(tour)):
+        line_dist = prefix[y] - prefix[x]
+        tree_dist = ts_metric.dist(tour[x], tour[y])
+        if line_dist > q * tree_dist:
+            # Add the Ts tree path between the breakpoint endpoints.
+            path = tree_path(ts, tour[x], tour[y])
+            for a, b in zip(path, path[1:]):
+                if not subgraph.has_edge(a, b):
+                    subgraph.add_edge(a, b, graph.weight(a, b))
+                    added_weight += graph.weight(a, b)
+            breakpoints.append(y)
+            x = y
+
+    # Step 5-6: final SPT inside G'.
+    tree = shortest_path_tree(subgraph, root)
+    return SltResult(tree, root, q, subgraph, breakpoints, tour, added_weight)

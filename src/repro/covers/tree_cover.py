@@ -1,0 +1,121 @@
+"""Tree edge-covers — Definition 3.1 / Lemma 3.2 (clock synchronizer gamma*).
+
+A *tree edge-cover* of a weighted graph ``G`` is a collection ``M`` of trees
+(subgraphs of G) such that
+
+1. every edge of G appears in at most O(log n) trees of M,
+2. every tree has weighted depth at most O(d * log n), where
+   ``d = max_(u,v) in E dist(u, v)``, and
+3. for every edge (u, v) of G some tree of M contains *both* endpoints.
+
+Construction (Lemma 3.2): take the initial cover
+``S = { Path(u, v, G) : (u, v) in E }`` (each shortest path between two
+neighbors is a cluster of radius <= d), coarsen it with Theorem 1.1 at
+``k = log |S|``, and return a shortest-path spanning tree of each output
+cluster's induced subgraph, rooted at the cluster's center.
+
+Because the coarse cover subsumes S, for every edge (u, v) the whole
+shortest path between u and v lies inside some output cluster, hence u and
+v share that cluster's tree (property 3).  Property 1 follows from the
+cover-degree bound; property 2 from the radius bound (2k-1) * d.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..graphs.paths import dijkstra, radius_center, shortest_path, tree_distances
+from ..graphs.weighted_graph import Vertex, WeightedGraph, edge_key
+from .coarsening import coarsen_cover
+
+__all__ = ["CoverTree", "TreeEdgeCover", "build_tree_edge_cover"]
+
+
+@dataclass
+class CoverTree:
+    """One tree of a tree edge-cover.
+
+    Attributes
+    ----------
+    tree:       the tree as a weighted graph (subgraph of G)
+    root:       the cluster center the SPT is rooted at
+    vertices:   the cluster's vertex set (== the tree's vertices)
+    depth:      weighted depth of the tree below its root
+    """
+
+    tree: WeightedGraph
+    root: Vertex
+    vertices: frozenset
+    depth: float
+
+
+@dataclass
+class TreeEdgeCover:
+    """A complete tree edge-cover with its quality statistics."""
+
+    trees: list[CoverTree]
+    # For every edge of G: indices of trees containing that edge.
+    edge_load: dict
+    # For every edge (u, v) of G: index of one tree containing both u and v.
+    home_tree: dict
+    max_edge_load: int
+    max_depth: float
+
+    def trees_of_vertex(self, v: Vertex) -> list[int]:
+        """Indices of the trees whose vertex set contains v."""
+        return [i for i, t in enumerate(self.trees) if v in t.vertices]
+
+
+def build_tree_edge_cover(graph: WeightedGraph, k: int | None = None) -> TreeEdgeCover:
+    """Build a tree edge-cover of ``graph`` (Lemma 3.2).
+
+    ``k`` defaults to ``ceil(log2 |E|)`` (the operating point of the lemma).
+    """
+    edges = graph.edge_list()
+    if not edges:
+        raise ValueError("tree edge-cover needs at least one edge")
+    # Initial cover: the shortest path between the endpoints of every edge.
+    # (The endpoints themselves are on the path, so this is a cover of every
+    # non-isolated vertex; the paper's model has no isolated vertices.)
+    initial = [frozenset(shortest_path(graph, u, v)) for u, v, _ in edges]
+    if k is None:
+        k = max(1, math.ceil(math.log2(max(2, len(initial)))))
+    coarse = coarsen_cover(initial, k)
+
+    trees: list[CoverTree] = []
+    for cc in coarse:
+        sub = graph.induced_subgraph(cc.vertices)
+        _, center = radius_center(sub)
+        _, parent = dijkstra(sub, center)
+        tree = WeightedGraph(vertices=cc.vertices)
+        for v, p in parent.items():
+            if p is not None:
+                tree.add_edge(p, v, sub.weight(p, v))
+        depth = max(tree_distances(tree, center).values(), default=0.0)
+        trees.append(CoverTree(tree=tree, root=center, vertices=cc.vertices, depth=depth))
+
+    edge_load: dict = {edge_key(u, v): [] for u, v, _ in edges}
+    for i, ct in enumerate(trees):
+        for u, v, _ in ct.tree.edges():
+            key = edge_key(u, v)
+            if key in edge_load:
+                edge_load[key].append(i)
+
+    home_tree: dict = {}
+    for u, v, _ in edges:
+        key = edge_key(u, v)
+        for i, ct in enumerate(trees):
+            if u in ct.vertices and v in ct.vertices:
+                home_tree[key] = i
+                break
+        else:  # pragma: no cover - contradicts Lemma 3.2
+            raise AssertionError(f"no tree covers edge {key}")
+
+    return TreeEdgeCover(
+        trees=trees,
+        edge_load=edge_load,
+        home_tree=home_tree,
+        max_edge_load=max((len(v) for v in edge_load.values()), default=0),
+        max_depth=max((t.depth for t in trees), default=0.0),
+    )

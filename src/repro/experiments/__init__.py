@@ -1,0 +1,25 @@
+"""Programmatic reproduction of every table and figure in the paper.
+
+Each experiment module regenerates one artifact of the paper's evaluation
+and returns :class:`~repro.experiments.base.Table` objects:
+
+>>> from repro.experiments import all_experiments
+>>> desc, runner = all_experiments()["fig1"]
+>>> tables = runner()        # measured rows + bound ratios
+
+Render the full report from the command line:
+
+    python -m repro.experiments              # plain text, all experiments
+    python -m repro.experiments fig3 clock   # a subset
+    python -m repro.experiments --markdown   # markdown (for EXPERIMENTS.md)
+"""
+
+from .base import Table, all_experiments, experiment, render_markdown, render_text
+
+__all__ = [
+    "Table",
+    "experiment",
+    "all_experiments",
+    "render_text",
+    "render_markdown",
+]

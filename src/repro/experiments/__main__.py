@@ -1,0 +1,51 @@
+"""CLI: regenerate the paper's tables and figures.
+
+    python -m repro.experiments               # run everything, plain text
+    python -m repro.experiments fig1 clock    # a subset by key
+    python -m repro.experiments --markdown    # markdown output
+    python -m repro.experiments --list        # show available experiments
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .base import all_experiments, render_markdown, render_text
+
+
+def main(argv: list[str]) -> int:
+    args = list(argv)
+    markdown = "--markdown" in args
+    args = [a for a in args if a != "--markdown"]
+    registry = all_experiments()
+
+    if "--list" in args:
+        for key, (desc, _fn) in sorted(registry.items()):
+            print(f"{key:12s} {desc}")
+        return 0
+
+    keys = args or sorted(registry)
+    unknown = [k for k in keys if k not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(registry))}", file=sys.stderr)
+        return 2
+
+    render = render_markdown if markdown else render_text
+    for key in keys:
+        desc, runner = registry[key]
+        start = time.perf_counter()
+        tables = runner()
+        elapsed = time.perf_counter() - start
+        header = f"# {key}: {desc}  ({elapsed:.1f}s)"
+        print(header if markdown else header.lstrip("# "))
+        for table in tables:
+            print()
+            print(render(table))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,107 @@
+"""Experiment infrastructure: tables, registry, markdown/text rendering.
+
+Every table and figure of the paper has a corresponding experiment
+function here that *regenerates* it: it runs the relevant protocols on the
+paper's workloads and returns :class:`Table` objects pairing measured
+cost-sensitive complexities with the claimed bounds.  The benchmark suite
+(``benchmarks/``) calls the same functions and asserts the shape claims;
+``python -m repro.experiments`` renders the full report.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+__all__ = ["Table", "experiment", "all_experiments", "render_text",
+           "render_markdown"]
+
+
+@dataclass
+class Table:
+    """One rendered result table (a paper figure/table analog)."""
+
+    title: str
+    header: list[str]
+    rows: list[list]
+    notes: str = ""
+
+    def column(self, name: str) -> list:
+        idx = self.header.index(name)
+        return [row[idx] for row in self.rows]
+
+
+_REGISTRY: dict[str, tuple[str, Callable[[], list[Table]]]] = {}
+
+
+def experiment(key: str, description: str):
+    """Register an experiment function ``() -> list[Table]`` under ``key``."""
+
+    def deco(fn):
+        _REGISTRY[key] = (description, fn)
+        return fn
+
+    return deco
+
+
+def all_experiments() -> dict[str, tuple[str, Callable[[], list[Table]]]]:
+    """The registry: key -> (description, runner)."""
+    # Import the experiment modules for their registration side effects.
+    from . import (  # noqa: F401
+        clock_sync,
+        connectivity,
+        controller,
+        global_function,
+        lower_bound,
+        mst,
+        slt,
+        spt,
+        synchronizer,
+    )
+
+    return dict(_REGISTRY)
+
+
+# --------------------------------------------------------------------- #
+# Rendering
+# --------------------------------------------------------------------- #
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_text(table: Table) -> str:
+    """Aligned plain-text rendering."""
+    str_rows = [[_fmt(c) for c in row] for row in table.rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(table.header)
+    ]
+    lines = [f"=== {table.title} ==="]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(table.header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    if table.notes:
+        lines.append(f"  note: {table.notes}")
+    return "\n".join(lines)
+
+
+def render_markdown(table: Table) -> str:
+    """GitHub-flavored markdown rendering."""
+    lines = [f"### {table.title}", ""]
+    lines.append("| " + " | ".join(table.header) + " |")
+    lines.append("|" + "|".join("---" for _ in table.header) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+    if table.notes:
+        lines.append("")
+        lines.append(f"*{table.notes}*")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Experiment F1 — Figure 1: global function computation bounds."""
+
+from __future__ import annotations
+
+from ..core import (
+    SUM,
+    compute_global_function,
+    global_function_comm_lower_bound,
+    global_function_time_lower_bound,
+)
+from ..graphs import network_params, random_connected_graph
+from .base import Table, experiment
+
+__all__ = ["run"]
+
+Q = 2.0
+SIZES = [(20, 30), (40, 60), (80, 120), (160, 240)]
+
+
+@experiment("fig1", "Figure 1: global function computation Theta(V)/Theta(D)")
+def run() -> list[Table]:
+    rows = []
+    for n, extra in SIZES:
+        g = random_connected_graph(n, extra, seed=0)
+        p = network_params(g)
+        inputs = {v: 1 for v in g.vertices}
+        result, value = compute_global_function(g, inputs, SUM, q=Q)
+        assert value == n
+        comm_lb = global_function_comm_lower_bound(g)
+        time_lb = global_function_time_lower_bound(g)
+        rows.append([
+            p.n, p.m, p.V, p.D,
+            result.comm_cost, result.comm_cost / comm_lb,
+            result.finish_time, result.finish_time / time_lb,
+        ])
+    return [Table(
+        title=f"Figure 1: global function computation (q = {Q:g})",
+        header=["n", "m", "V", "D", "comm", "comm/V", "time", "time/D"],
+        rows=rows,
+        notes="upper bound O(V)/O(D) via the SLT protocol; "
+              "lower bound Omega(V)/Omega(D) (Thm 2.1)",
+    )]

@@ -1,0 +1,104 @@
+"""Experiment F3 — Figure 3: MST algorithms, plus the GHS decomposition."""
+
+from __future__ import annotations
+
+import math
+
+from ..graphs import (
+    lower_bound_graph,
+    mst_weight,
+    network_params,
+    random_connected_graph,
+)
+from ..protocols import (
+    run_mst_centr,
+    run_mst_fast,
+    run_mst_ghs,
+    run_mst_hybrid,
+)
+from .base import Table, experiment
+
+__all__ = ["run", "mst_suite"]
+
+
+def mst_suite(graph, root):
+    """Run the four Figure-3 algorithms on one graph; verify, return costs."""
+    p = network_params(graph)
+    v_opt = mst_weight(graph)
+    out = {}
+    for name, runner in (
+        ("MST_ghs", lambda: run_mst_ghs(graph)),
+        ("MST_fast", lambda: run_mst_fast(graph)),
+        ("MST_centr", lambda: run_mst_centr(graph, root)),
+    ):
+        res, tree = runner()
+        assert abs(tree.total_weight() - v_opt) < 1e-6
+        out[name] = (res.comm_cost, res.time)
+    hyb = run_mst_hybrid(graph, root)
+    assert abs(hyb.output.total_weight() - v_opt) < 1e-6
+    out["MST_hybrid"] = (hyb.total_comm_cost, hyb.total_time)
+    return p, out, hyb.winner
+
+
+def figure3_bounds(p):
+    """The Figure 3 communication bounds for a given parameter set."""
+    logn = math.log2(p.n)
+    logv = max(1.0, math.log2(p.V))
+    return {
+        "MST_ghs": p.E + p.V * logn,
+        "MST_fast": p.E * logn * logv,
+        "MST_centr": p.n * p.V,
+        "MST_hybrid": min(p.E + p.V * logn, p.n * p.V),
+    }
+
+
+def _suite_table(label, p, costs, winner):
+    bounds = figure3_bounds(p)
+    rows = [
+        [name, costs[name][0], costs[name][1], b, costs[name][0] / b]
+        for name, b in bounds.items()
+    ]
+    return Table(
+        title=f"Figure 3: MST algorithms on {label}  [{p}]",
+        header=["algorithm", "comm", "time", "paper bound", "comm/bound"],
+        rows=rows,
+        notes=f"hybrid race won by {winner}",
+    )
+
+
+def ghs_decomposition():
+    """Where O(E + V log n) comes from: probe traffic vs tree coordination."""
+    rows = []
+    for n, extra in ((20, 60), (40, 140), (60, 240)):
+        g = random_connected_graph(n, extra, seed=13, max_weight=6)
+        p = network_params(g)
+        res, _ = run_mst_ghs(g)
+        by = res.metrics.cost_by_tag
+        probe = by.get("ghs-test", 0.0)
+        tree = (by.get("ghs-initiate", 0.0) + by.get("ghs-report", 0.0)
+                + by.get("ghs-connect", 0.0) + by.get("ghs-halt", 0.0))
+        rows.append([
+            p.n, p.E, p.V, probe, probe / p.E,
+            tree, tree / (p.V * math.log2(p.n)),
+        ])
+    return Table(
+        title="Ablation: GHS cost decomposition (E-term vs V log n-term)",
+        header=["n", "E", "V", "probe cost", "probe/E", "tree cost",
+                "tree/(V log n)"],
+        rows=rows,
+        notes="Test/Accept/Reject traffic scales with E; "
+              "Initiate/Report/Connect with V log n (Lemma 8.1)",
+    )
+
+
+@experiment("fig3", "Figure 3: MST algorithm suite")
+def run() -> list[Table]:
+    light = random_connected_graph(40, 100, seed=4, max_weight=4)
+    heavy = lower_bound_graph(18)
+    p1, costs1, winner1 = mst_suite(light, 0)
+    p2, costs2, winner2 = mst_suite(heavy, 1)
+    return [
+        _suite_table("light random graph", p1, costs1, winner1),
+        _suite_table("lower-bound family G_18", p2, costs2, winner2),
+        ghs_decomposition(),
+    ]

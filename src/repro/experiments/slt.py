@@ -1,0 +1,73 @@
+"""Experiment F5/F6 — the shallow-light tree trade-off and Theorem 2.7."""
+
+from __future__ import annotations
+
+from ..core import run_distributed_slt, shallow_light_tree
+from ..graphs import (
+    network_params,
+    prim_mst,
+    random_connected_graph,
+    shortest_path_tree,
+    spoke_graph,
+    tree_distances,
+)
+from .base import Table, experiment
+
+__all__ = ["run", "q_sweep", "distributed_sweep"]
+
+
+def q_sweep(graph, root=0, qs=(0.25, 0.5, 1.0, 2.0, 4.0, 16.0)):
+    """Rows for the SLT trade-off curve on one instance."""
+    p = network_params(graph)
+    mst = prim_mst(graph, root)
+    spt = shortest_path_tree(graph, root)
+    rows = [
+        ["MST (q=inf)", mst.total_weight(), 1.0,
+         2 * max(tree_distances(mst, root).values()), ""],
+        ["SPT (q=0)", spt.total_weight(), spt.total_weight() / p.V,
+         2 * max(tree_distances(spt, root).values()), ""],
+    ]
+    for q in qs:
+        res = shallow_light_tree(graph, root, q=q)
+        assert res.weight <= (1 + 2 / q) * p.V + 1e-6
+        assert res.depth() <= (2 * q + 1) * p.D + 1e-6
+        rows.append([
+            f"SLT q={q:g}", res.weight, res.weight / p.V,
+            2 * res.depth(), (1 + 2 / q),
+        ])
+    return p, rows
+
+
+def distributed_sweep(sizes=((10, 15), (20, 30), (40, 60))):
+    """Theorem 2.7 rows: distributed SLT construction cost ratios."""
+    rows = []
+    for n, extra in sizes:
+        g = random_connected_graph(n, extra, seed=1)
+        p = network_params(g)
+        out = run_distributed_slt(g, 0, q=2.0)
+        rows.append([
+            p.n, out.comm_cost, out.comm_cost / (p.V * p.n**2),
+            out.time, out.time / (p.D * p.n**2),
+            out.tree.total_weight() / p.V,
+        ])
+    return rows
+
+
+@experiment("fig5", "Figures 5/6: shallow-light trees + Theorem 2.7")
+def run() -> list[Table]:
+    graph = spoke_graph(30, spoke_weight=100.0, rim_weight=1.0)
+    p, rows = q_sweep(graph)
+    curve = Table(
+        title=f"Figure 5/6: SLT trade-off on the spoke graph  [{p}]",
+        header=["tree", "weight", "weight/V", "diam<=2depth", "(1+2/q)"],
+        rows=rows,
+        notes="Lemma 2.4 bound w(T) <= (1+2/q) V holds exactly at every q",
+    )
+    distributed = Table(
+        title="Theorem 2.7: distributed SLT construction (q = 2)",
+        header=["n", "comm", "comm/(V n^2)", "time", "time/(D n^2)",
+                "w(T)/V"],
+        rows=distributed_sweep(),
+        notes="MST_centr + local derivation + SPT_centr on G'",
+    )
+    return [curve, distributed]

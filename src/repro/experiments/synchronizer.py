@@ -1,0 +1,129 @@
+"""Experiment T-SYN — Section 4.4: synchronizer gamma_w overheads.
+
+Includes the alpha_w / beta_w / gamma_w ablation that motivates gamma_w.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graphs import (
+    diameter,
+    dijkstra,
+    heavy_edge_clock_graph,
+    network_params,
+    path_graph,
+    random_connected_graph,
+)
+from ..protocols import run_spt_synch
+from ..protocols.spt_synch import SyncBellmanFord
+from ..synch import run_alpha_w, run_beta_w, run_gamma_w
+from .base import Table, experiment
+
+__all__ = ["run", "k_sweep", "n_sweep", "synchronizer_comparison"]
+
+
+def _verify(graph, res, source=0):
+    dist, _ = dijkstra(graph, source)
+    for v in graph.vertices:
+        d, _p = res.result_of(v)
+        assert abs(d - dist[v]) < 1e-9
+
+
+def k_sweep(ks=(2, 3, 4, 6)):
+    graph = random_connected_graph(24, 36, seed=6, max_weight=8)
+    p = network_params(graph)
+    rows = []
+    for k in ks:
+        res, _tree = run_spt_synch(graph, 0, k=k)
+        _verify(graph, res)
+        c_bound = k * p.n * math.log2(p.n)
+        t_bound = (math.log(p.n) / math.log(k)) * math.log2(p.n)
+        rows.append([
+            k, res.pulses,
+            res.comm_overhead_per_pulse,
+            res.comm_overhead_per_pulse / c_bound,
+            res.time_per_pulse, res.time_per_pulse / t_bound,
+        ])
+    return p, rows
+
+
+def n_sweep(sizes=((12, 18), (24, 36), (48, 72))):
+    rows = []
+    for n, extra in sizes:
+        graph = random_connected_graph(n, extra, seed=7, max_weight=8)
+        p = network_params(graph)
+        res, _tree = run_spt_synch(graph, 0, k=2)
+        _verify(graph, res)
+        c_bound = 2 * p.n * math.log2(p.n)
+        rows.append([
+            p.n, res.pulses, res.proto_cost, res.overhead_cost,
+            res.comm_overhead_per_pulse,
+            res.comm_overhead_per_pulse / c_bound,
+        ])
+    return rows
+
+
+def _factory(graph, source=0):
+    stop = int(diameter(graph)) + 1
+    w_max = int(max(w for _, _, w in graph.edges()))
+    max_pulse = 4 * (stop + 1) + 4 * w_max + 8
+    return (lambda v: SyncBellmanFord(v == source, stop)), max_pulse
+
+
+def synchronizer_comparison(graph):
+    """alpha_w / beta_w / gamma_w on one graph; returns (rows, results)."""
+    factory, max_pulse = _factory(graph)
+    rows = []
+    results = {}
+    for name, runner in (
+        ("alpha_w", lambda: run_alpha_w(graph, factory, max_pulse=max_pulse)),
+        ("beta_w", lambda: run_beta_w(graph, factory, max_pulse=max_pulse)),
+        ("gamma_w", lambda: run_gamma_w(graph, factory, k=2,
+                                        max_pulse=max_pulse)),
+    ):
+        res = runner()
+        _verify(graph, res)
+        results[name] = res
+        rows.append([
+            name, res.pulses, res.comm_overhead_per_pulse,
+            res.time_per_pulse, res.comm_cost, res.time,
+        ])
+    return rows, results
+
+
+@experiment("synch", "Section 4.4: synchronizer gamma_w overheads + ablation")
+def run() -> list[Table]:
+    p, k_rows = k_sweep()
+    tables = [
+        Table(
+            title=f"gamma_w: k sweep  [{p}]",
+            header=["k", "pulses", "C/pulse", "C / (k n log n)",
+                    "T/pulse", "T / (log_k n log n)"],
+            rows=k_rows,
+            notes="Lemma 4.8: C = O(k n log n), T = O(log_k n log n)",
+        ),
+        Table(
+            title="gamma_w: n sweep (k = 2)",
+            header=["n", "pulses", "payload cost", "overhead cost",
+                    "C/pulse", "C / (k n log n)"],
+            rows=n_sweep(),
+        ),
+    ]
+    for label, graph in (
+        ("heavy edge (W >> d)", heavy_edge_clock_graph(14, heavy=128.0)),
+        ("deep path (large D)", path_graph(24, weight=2.0)),
+        ("dense random", random_connected_graph(20, 60, seed=12,
+                                                max_weight=4)),
+    ):
+        rows, _results = synchronizer_comparison(graph)
+        tables.append(Table(
+            title=(f"Synchronizer ablation on {label}  "
+                   f"[{network_params(graph)}]"),
+            header=["synchronizer", "pulses", "C/pulse", "T/pulse",
+                    "total comm", "total time"],
+            rows=rows,
+            notes="alpha_w: C~E, T~W;  beta_w: C~V, T~D;  gamma_w: both "
+                  "polylog-normalized",
+        ))
+    return tables

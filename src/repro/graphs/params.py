@@ -1,0 +1,82 @@
+"""The paper's weighted network parameters (Section 1.3).
+
+Cost-sensitive complexity is expressed in terms of the weighted analogs of
+the classical |E|, |V|, D:
+
+* ``script_E = w(G)``            — cost of one message over every edge;
+* ``script_V = w(MST(G))``       — minimal cost of reaching all vertices;
+* ``script_D = Diam(G)``         — maximal cost between any vertex pair;
+
+plus the auxiliary quantities
+
+* ``W = max_e w(e)``             — heaviest edge;
+* ``d = max_{(u,v) in E} dist(u,v)`` — largest weighted distance between
+  *neighbors* (the clock-synchronization lower bound, Section 1.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mst import mst_weight
+from .paths import diameter, max_neighbor_distance
+from .weighted_graph import WeightedGraph
+
+__all__ = ["NetworkParams", "network_params", "script_E", "script_V", "script_D"]
+
+
+def script_E(graph: WeightedGraph) -> float:
+    """Total edge weight ``w(G)``."""
+    return graph.total_weight()
+
+
+def script_V(graph: WeightedGraph) -> float:
+    """MST weight ``w(MST(G))``."""
+    return mst_weight(graph)
+
+
+def script_D(graph: WeightedGraph) -> float:
+    """Weighted diameter ``Diam(G)``."""
+    return diameter(graph)
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """All weighted parameters of a network, computed once and cached.
+
+    Attributes mirror the paper's notation; ``n``/``m`` are the classical
+    vertex/edge counts.
+    """
+
+    n: int
+    m: int
+    E: float  # script-E: total edge weight w(G)
+    V: float  # script-V: MST weight
+    D: float  # script-D: weighted diameter
+    W: float  # max edge weight
+    d: float  # max weighted distance between neighbors
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} m={self.m} E={self.E:g} V={self.V:g} "
+            f"D={self.D:g} W={self.W:g} d={self.d:g}"
+        )
+
+
+def network_params(graph: WeightedGraph) -> NetworkParams:
+    """Compute every weighted parameter of ``graph`` (requires connectivity).
+
+    Sanity relations that always hold (and are property-tested):
+    ``D <= V <= E``, ``d <= W``, and ``V <= (n-1) * D`` (Fact 6.3).
+    """
+    if not graph.is_connected():
+        raise ValueError("network parameters require a connected graph")
+    return NetworkParams(
+        n=graph.num_vertices,
+        m=graph.num_edges,
+        E=script_E(graph),
+        V=script_V(graph),
+        D=script_D(graph),
+        W=graph.max_weight(),
+        d=max_neighbor_distance(graph),
+    )

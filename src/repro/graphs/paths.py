@@ -1,0 +1,183 @@
+"""Weighted shortest paths: Dijkstra, shortest-path trees, distances, diameter.
+
+These are the sequential building blocks used by the SLT construction
+(Section 2), the cover machinery (Sections 3-4) and as correctness oracles
+for the distributed SPT protocols (Section 9).
+
+Terminology follows the paper: ``dist(u, v, G)`` is the weighted distance,
+``Path(u, v, G)`` an arbitrary shortest path, ``Diam(G)`` the weighted
+diameter, and an *SPT* rooted at ``s`` is the tree formed by shortest paths
+from ``s`` to every other vertex.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Optional
+
+from .weighted_graph import Vertex, WeightedGraph
+
+__all__ = [
+    "dijkstra",
+    "distance",
+    "shortest_path",
+    "shortest_path_tree",
+    "tree_path",
+    "tree_distances",
+    "eccentricity",
+    "diameter",
+    "radius_center",
+    "max_neighbor_distance",
+]
+
+
+def dijkstra(
+    graph: WeightedGraph, source: Vertex
+) -> tuple[dict[Vertex, float], dict[Vertex, Optional[Vertex]]]:
+    """Single-source shortest paths.
+
+    Returns
+    -------
+    (dist, parent):
+        ``dist[v]`` is the weighted distance from ``source`` to ``v`` (only
+        reachable vertices appear); ``parent[v]`` is v's predecessor on a
+        shortest path (``None`` for the source).
+    """
+    if source not in graph:
+        raise KeyError(f"source {source!r} not in graph")
+    dist: dict[Vertex, float] = {source: 0.0}
+    parent: dict[Vertex, Optional[Vertex]] = {source: None}
+    done: set[Vertex] = set()
+    tie = count()
+    heap: list[tuple[float, int, Vertex]] = [(0.0, next(tie), source)]
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        for v, w in graph.neighbor_weights(u).items():
+            nd = d + w
+            if v not in dist or nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, next(tie), v))
+    return dist, parent
+
+
+def distance(graph: WeightedGraph, u: Vertex, v: Vertex) -> float:
+    """``dist(u, v, G)``; ``inf`` if disconnected."""
+    dist, _ = dijkstra(graph, u)
+    return dist.get(v, float("inf"))
+
+
+def shortest_path(graph: WeightedGraph, u: Vertex, v: Vertex) -> list[Vertex]:
+    """``Path(u, v, G)`` as a vertex list from u to v; raise if disconnected."""
+    dist, parent = dijkstra(graph, u)
+    if v not in dist:
+        raise ValueError(f"{v!r} unreachable from {u!r}")
+    path = [v]
+    while parent[path[-1]] is not None:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def shortest_path_tree(graph: WeightedGraph, source: Vertex) -> WeightedGraph:
+    """The SPT of ``graph`` rooted at ``source``.
+
+    Raises ``ValueError`` on a disconnected graph (the paper's model assumes
+    connectivity).
+    """
+    dist, parent = dijkstra(graph, source)
+    if len(dist) != graph.num_vertices:
+        raise ValueError("graph is not connected; SPT undefined")
+    tree = WeightedGraph(vertices=graph.vertices)
+    for v, p in parent.items():
+        if p is not None:
+            tree.add_edge(p, v, graph.weight(p, v))
+    return tree
+
+
+def tree_path(tree: WeightedGraph, x: Vertex, y: Vertex) -> list[Vertex]:
+    """``P(x, y, T)`` — the unique path between x and y in a tree.
+
+    Implemented as a BFS from ``x`` (trees are sparse, so this is linear).
+    """
+    if x == y:
+        return [x]
+    parent: dict[Vertex, Vertex] = {x: x}
+    frontier = [x]
+    while frontier and y not in parent:
+        nxt = []
+        for u in frontier:
+            for v in tree.neighbors(u):
+                if v not in parent:
+                    parent[v] = u
+                    nxt.append(v)
+        frontier = nxt
+    if y not in parent:
+        raise ValueError(f"{y!r} not connected to {x!r} in tree")
+    path = [y]
+    while path[-1] != x:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def tree_distances(tree: WeightedGraph, root: Vertex) -> dict[Vertex, float]:
+    """Weighted depth of every vertex in ``tree`` below ``root``."""
+    dist = {root: 0.0}
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        for v, w in tree.neighbor_weights(u).items():
+            if v not in dist:
+                dist[v] = dist[u] + w
+                stack.append(v)
+    return dist
+
+
+def eccentricity(graph: WeightedGraph, v: Vertex) -> float:
+    """``Rad(v, G)`` — the largest weighted distance from v to any vertex."""
+    dist, _ = dijkstra(graph, v)
+    if len(dist) != graph.num_vertices:
+        return float("inf")
+    return max(dist.values())
+
+
+def diameter(graph: WeightedGraph) -> float:
+    """``Diam(G)`` — the maximum weighted distance between any vertex pair.
+
+    Exact computation via n Dijkstra runs; fine at the scales the paper's
+    experiments need (n up to a few thousand).
+    """
+    return max((eccentricity(graph, v) for v in graph.vertices), default=0.0)
+
+
+def radius_center(graph: WeightedGraph) -> tuple[float, Vertex]:
+    """``(Rad(S), center)`` — minimum eccentricity and a vertex achieving it."""
+    if graph.num_vertices == 0:
+        raise ValueError("empty graph has no center")
+    best_v = None
+    best_r = float("inf")
+    for v in graph.vertices:
+        r = eccentricity(graph, v)
+        if r < best_r:
+            best_r, best_v = r, v
+    return best_r, best_v
+
+
+def max_neighbor_distance(graph: WeightedGraph) -> float:
+    """``d = max_{(u,v) in E} dist(u, v)`` — the clock-sync lower bound (§1.4.2).
+
+    Note d <= W always, and the clock synchronization problem is interesting
+    precisely when d << W (a heavy edge whose endpoints are close through the
+    rest of the network).
+    """
+    best = 0.0
+    for u in graph.vertices:
+        dist, _ = dijkstra(graph, u)
+        for v in graph.neighbors(u):
+            best = max(best, dist[v])
+    return best

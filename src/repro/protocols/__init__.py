@@ -1,0 +1,87 @@
+"""Distributed algorithms: broadcast, DFS, MST, SPT suites and hybrid racers."""
+
+from .broadcast import FloodProcess, run_flood
+from .convergecast import (
+    BroadcastProcess,
+    ConvergecastProcess,
+    rooted_tree_structure,
+    run_convergecast,
+    run_tree_broadcast,
+)
+from .dfs import DfsProcess, Governor, run_dfs
+from .full_info import (
+    FullInfoGrowthProcess,
+    GrowthPlan,
+    dijkstra_order,
+    prim_order,
+    run_mst_centr,
+    run_spt_centr,
+)
+from .hybrid import (
+    RaceOutcome,
+    race,
+    run_con_hybrid,
+    run_mst_hybrid,
+    run_spt_hybrid,
+)
+from .mst_ghs import GhsProcess, run_mst_fast, run_mst_ghs
+from .spt_recur import StripBfsProcess, run_spt_recur, unit_expansion
+from .spt_synch import (
+    SyncBellmanFord,
+    run_spt_synch,
+    run_spt_synchronous_reference,
+)
+
+__all__ = [
+    "FloodProcess",
+    "run_flood",
+    "BroadcastProcess",
+    "ConvergecastProcess",
+    "rooted_tree_structure",
+    "run_convergecast",
+    "run_tree_broadcast",
+    "DfsProcess",
+    "Governor",
+    "run_dfs",
+    "GrowthPlan",
+    "FullInfoGrowthProcess",
+    "prim_order",
+    "dijkstra_order",
+    "run_mst_centr",
+    "run_spt_centr",
+    "GhsProcess",
+    "run_mst_ghs",
+    "run_mst_fast",
+    "StripBfsProcess",
+    "unit_expansion",
+    "run_spt_recur",
+    "SyncBellmanFord",
+    "run_spt_synch",
+    "run_spt_synchronous_reference",
+    "RaceOutcome",
+    "race",
+    "run_con_hybrid",
+    "run_mst_hybrid",
+    "run_spt_hybrid",
+]
+
+from .leader_election import run_leader_election  # noqa: E402
+from .termination import DSHost, run_with_termination_detection  # noqa: E402
+
+__all__ += [
+    "run_leader_election",
+    "DSHost",
+    "run_with_termination_detection",
+]
+
+from .max_consensus import (  # noqa: E402
+    SyncMaxConsensus,
+    run_max_consensus_gamma_w,
+    run_max_consensus_reference,
+)
+
+__all__ += [
+    "SyncMaxConsensus",
+    "run_max_consensus_reference",
+    "run_max_consensus_gamma_w",
+]

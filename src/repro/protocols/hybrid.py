@@ -1,0 +1,198 @@
+"""Hybrid algorithms (Sections 7.2, 8.2, 9.3): racing two algorithms.
+
+The paper's hybrids run two algorithms "in parallel", with a shared root
+suspending whichever is currently more expensive (using the doubling root
+estimates of Section 6.2); the combined cost is within a factor of four of
+the cheaper algorithm.
+
+We realize the race by *dovetailing with doubling budgets*: the root runs
+the candidates in alternation, each attempt capped at a communication
+budget that doubles every round, until one completes within its budget.
+This is exactly the suspend/resume schedule the root estimates induce —
+an algorithm is "suspended" while the other one consumes its (currently
+smaller) budget — expressed with restarts instead of in-place freezing.
+Since attempt costs form geometric series, the total communication is at
+most a constant times ``min(c_A, c_B)`` (with both algorithms' budgets
+summing to ``< 4 * budget_final <= 8 * min``), preserving the paper's
+``O(min{...})`` bounds:
+
+* ``CON_hybrid``  =  race(DFS, MST_centr)            -> O(min{E, n V})
+* ``MST_hybrid``  =  race(MST_ghs, MST_centr)        -> O(min{E + V log n, n V})
+* ``SPT_hybrid``  =  race(SPT_synch, SPT_recur)      -> O(min of Fig. 4 rows)
+
+The budget is enforced by the root's exact knowledge of the communication
+spent — the property Section 7.2 engineers via root estimates and Section
+8.2 via making the protocol "controlled"; we enforce it at the simulation
+boundary and measure the estimate/controller overheads in their own
+benchmarks (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..graphs.weighted_graph import Vertex, WeightedGraph
+from ..sim.delays import DelayModel
+from .dfs import run_dfs
+from .full_info import run_mst_centr
+from .mst_ghs import run_mst_ghs
+from .spt_recur import run_spt_recur
+from .spt_synch import run_spt_synch
+
+__all__ = ["RaceOutcome", "race", "run_con_hybrid", "run_mst_hybrid",
+           "run_spt_hybrid"]
+
+# An attempt takes a budget and returns (comm_cost_spent, time_spent,
+# output_or_None).  Output None means the budget was exhausted.
+Attempt = Callable[[float], tuple[float, float, Any]]
+
+
+@dataclass
+class RaceOutcome:
+    """Result of a dovetailed race."""
+
+    winner: str
+    output: Any
+    total_comm_cost: float      # across every attempt, including aborted ones
+    total_time: float           # attempts run back-to-back
+    rounds: int
+    history: list = field(default_factory=list)  # (name, budget, cost, done)
+
+    def __str__(self) -> str:
+        return (
+            f"race won by {self.winner} after {self.rounds} rounds, "
+            f"total cost {self.total_comm_cost:g}"
+        )
+
+
+def race(
+    attempts: dict[str, Attempt],
+    initial_budget: float,
+    max_rounds: int = 200,
+) -> RaceOutcome:
+    """Dovetail the attempts with per-algorithm doubling budgets.
+
+    Round-robin order follows the dict's insertion order; each algorithm's
+    budget doubles after each of its failed attempts.
+    """
+    if initial_budget <= 0:
+        raise ValueError("initial budget must be positive")
+    budgets = {name: initial_budget for name in attempts}
+    total_cost = 0.0
+    total_time = 0.0
+    history = []
+    for round_no in range(1, max_rounds + 1):
+        for name, attempt in attempts.items():
+            cost, time, output = attempt(budgets[name])
+            total_cost += cost
+            total_time += time
+            history.append((name, budgets[name], cost, output is not None))
+            if output is not None:
+                return RaceOutcome(
+                    winner=name,
+                    output=output,
+                    total_comm_cost=total_cost,
+                    total_time=total_time,
+                    rounds=round_no,
+                    history=history,
+                )
+            budgets[name] *= 2.0
+    raise RuntimeError(f"race did not finish within {max_rounds} rounds")
+
+
+# --------------------------------------------------------------------- #
+# Concrete hybrids
+# --------------------------------------------------------------------- #
+
+
+def _initial_budget(graph: WeightedGraph) -> float:
+    # Any positive start works: failed rounds cost at most their budget, so
+    # starting small only adds log(final/initial) cheap rounds.  Starting at
+    # ~n keeps the first rounds from being entirely vacuous.
+    return float(max(8, graph.num_vertices))
+
+
+def run_con_hybrid(
+    graph: WeightedGraph,
+    root: Vertex,
+    *,
+    delay: Optional[DelayModel] = None,
+    seed: int = 0,
+) -> RaceOutcome:
+    """CON_hybrid (Section 7.2): DFS raced against MST_centr.
+
+    Both construct a spanning tree (solving connectivity); communication
+    ``O(min{script-E, n * script-V})``, matching the lower bound of
+    Section 7.1.
+    """
+
+    def dfs_attempt(budget: float):
+        result, tree = run_dfs(graph, root, delay=delay, seed=seed,
+                               budget=budget)
+        return result.comm_cost, result.time, tree
+
+    def centr_attempt(budget: float):
+        result, tree = run_mst_centr(graph, root, delay=delay, seed=seed,
+                                     budget=budget)
+        return result.comm_cost, result.time, tree
+
+    return race(
+        {"DFS": dfs_attempt, "MST_centr": centr_attempt},
+        _initial_budget(graph),
+    )
+
+
+def run_mst_hybrid(
+    graph: WeightedGraph,
+    root: Vertex,
+    *,
+    delay: Optional[DelayModel] = None,
+    seed: int = 0,
+) -> RaceOutcome:
+    """MST_hybrid (Section 8.2): MST_ghs raced against MST_centr.
+
+    Communication ``O(min{script-E + script-V log n, n * script-V})``.
+    """
+
+    def ghs_attempt(budget: float):
+        result, tree = run_mst_ghs(graph, delay=delay, seed=seed,
+                                   budget=budget)
+        return result.comm_cost, result.time, tree
+
+    def centr_attempt(budget: float):
+        result, tree = run_mst_centr(graph, root, delay=delay, seed=seed,
+                                     budget=budget)
+        return result.comm_cost, result.time, tree
+
+    return race(
+        {"MST_ghs": ghs_attempt, "MST_centr": centr_attempt},
+        _initial_budget(graph),
+    )
+
+
+def run_spt_hybrid(
+    graph: WeightedGraph,
+    source: Vertex,
+    *,
+    k: int = 2,
+    delay: Optional[DelayModel] = None,
+    seed: int = 0,
+) -> RaceOutcome:
+    """SPT_hybrid (Section 9.3): SPT_synch raced against SPT_recur."""
+
+    def synch_attempt(budget: float):
+        result, tree = run_spt_synch(graph, source, k=k, delay=delay,
+                                     seed=seed, budget=budget)
+        return result.comm_cost, result.time, tree
+
+    def recur_attempt(budget: float):
+        result, tree = run_spt_recur(graph, source, delay=delay, seed=seed,
+                                     budget=budget)
+        return result.comm_cost, result.time, tree
+
+    return race(
+        {"SPT_synch": synch_attempt, "SPT_recur": recur_attempt},
+        _initial_budget(graph),
+    )

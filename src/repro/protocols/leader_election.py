@@ -1,0 +1,44 @@
+"""Leader election via MST construction ([Awe87]'s reduction).
+
+[Awe87] (cited in Section 8) observes that leader election, counting and
+related problems reduce to MST construction: once GHS terminates, the two
+endpoints of the final core edge are distinguished, and one of them —
+deterministically, the one with the larger identifier — becomes the
+leader.  The HALT wave that ends GHS doubles as the leader announcement,
+so leader election costs exactly one MST construction:
+``O(script-E + script-V log n)`` communication.
+
+Counting comes for free the same way (the size convergecast GHS already
+performs), and is also available as the COUNT global function of
+:mod:`repro.core.global_function`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graphs.weighted_graph import Vertex, WeightedGraph
+from ..sim.delays import DelayModel
+from ..sim.network import RunResult
+from .mst_ghs import run_mst_ghs
+
+__all__ = ["run_leader_election"]
+
+
+def run_leader_election(
+    graph: WeightedGraph,
+    *,
+    delay: Optional[DelayModel] = None,
+    seed: int = 0,
+) -> tuple[RunResult, Vertex]:
+    """Elect a unique leader known to every node.
+
+    Runs GHS; the HALT wave carries the elected identity (the larger-id
+    endpoint of the final core edge).  Returns (run result, leader); every
+    node's ``leader`` attribute holds the same vertex.
+    """
+    result, _tree = run_mst_ghs(graph, delay=delay, seed=seed)
+    leaders = {p.leader for p in result.processes.values()}
+    if len(leaders) != 1:  # pragma: no cover - GHS guarantees agreement
+        raise AssertionError(f"leader disagreement: {leaders}")
+    return result, leaders.pop()

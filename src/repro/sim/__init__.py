@@ -1,0 +1,34 @@
+"""Discrete-event simulation of weighted asynchronous (and synchronous) networks."""
+
+from .delays import DelayModel, MaximalDelay, PerEdgeDelay, ScaledDelay, UniformDelay
+from .events import EventQueue
+from .metrics import Metrics
+from .network import Network, RunResult
+from .process import Process
+from .sync_runner import (
+    SyncContext,
+    SynchronousProtocol,
+    SynchronousRunner,
+    SyncRunResult,
+)
+
+__all__ = [
+    "EventQueue",
+    "Metrics",
+    "Process",
+    "Network",
+    "RunResult",
+    "DelayModel",
+    "MaximalDelay",
+    "ScaledDelay",
+    "UniformDelay",
+    "PerEdgeDelay",
+    "SynchronousProtocol",
+    "SyncContext",
+    "SynchronousRunner",
+    "SyncRunResult",
+]
+
+from .mux import MuxProcess  # noqa: E402
+
+__all__.append("MuxProcess")

@@ -1,0 +1,83 @@
+"""Edge-delay models for the asynchronous network (paper Section 1.3).
+
+The paper's time measure assumes the delay of a message on edge ``e``
+varies adversarially in ``[0, w(e)]``.  A delay model maps a transmission
+to a concrete delay within that interval; the *worst case* for most
+protocols is realized by :class:`MaximalDelay` (every message takes the
+full ``w(e)``), which the benchmarks use as the default adversary.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from ..graphs.weighted_graph import Vertex
+
+__all__ = [
+    "DelayModel",
+    "MaximalDelay",
+    "ScaledDelay",
+    "UniformDelay",
+    "PerEdgeDelay",
+]
+
+
+class DelayModel(ABC):
+    """Maps one message transmission to a delay in ``[0, w(e)]``."""
+
+    @abstractmethod
+    def delay(self, u: Vertex, v: Vertex, weight: float, rng: random.Random) -> float:
+        """Delay for a message from u to v over an edge of the given weight."""
+
+    def _check(self, d: float, weight: float) -> float:
+        if not 0.0 <= d <= weight:
+            raise ValueError(f"delay {d} outside [0, {weight}]")
+        return d
+
+
+class MaximalDelay(DelayModel):
+    """Every message takes the full ``w(e)`` — the canonical worst case."""
+
+    def delay(self, u: Vertex, v: Vertex, weight: float, rng: random.Random) -> float:
+        return weight
+
+
+class ScaledDelay(DelayModel):
+    """Every message takes ``fraction * w(e)`` for a fixed fraction in [0, 1]."""
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        self.fraction = fraction
+
+    def delay(self, u: Vertex, v: Vertex, weight: float, rng: random.Random) -> float:
+        return self.fraction * weight
+
+
+class UniformDelay(DelayModel):
+    """Delay drawn uniformly from ``[lo * w(e), hi * w(e)]``."""
+
+    def __init__(self, lo: float = 0.0, hi: float = 1.0) -> None:
+        if not 0.0 <= lo <= hi <= 1.0:
+            raise ValueError("need 0 <= lo <= hi <= 1")
+        self.lo = lo
+        self.hi = hi
+
+    def delay(self, u: Vertex, v: Vertex, weight: float, rng: random.Random) -> float:
+        return self._check(rng.uniform(self.lo * weight, self.hi * weight), weight)
+
+
+class PerEdgeDelay(DelayModel):
+    """Adversarial per-edge delays: a user-supplied function of (u, v, w).
+
+    The function must return a value in ``[0, w]``; it may consult any
+    captured state (e.g. a schedule keyed by edge and transmission count)
+    to realize a specific adversary.
+    """
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def delay(self, u: Vertex, v: Vertex, weight: float, rng: random.Random) -> float:
+        return self._check(self._fn(u, v, weight), weight)

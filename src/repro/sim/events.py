@@ -1,0 +1,50 @@
+"""A minimal deterministic discrete-event queue.
+
+Events are ``(time, sequence, callback)`` triples kept in a binary heap.
+The monotonically increasing sequence number makes simultaneous events fire
+in scheduling order, so runs are fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from itertools import count
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Time-ordered callback queue."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = count()
+        self.now: float = 0.0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute time ``when`` (>= now)."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        heapq.heappush(self._heap, (when, next(self._seq), callback))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def step(self) -> bool:
+        """Pop and run the earliest event; return False if the queue is empty."""
+        if not self._heap:
+            return False
+        when, _, callback = heapq.heappop(self._heap)
+        self.now = when
+        callback()
+        return True

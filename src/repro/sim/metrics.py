@@ -1,0 +1,47 @@
+"""Cost-sensitive accounting (paper Section 1.3).
+
+The *communication complexity* of a run is the sum over all transmitted
+messages of ``w(e)`` (times the message's size in words, default 1); the
+*time complexity* is the physical completion time.  Messages carry a free-
+form ``tag`` so layered protocols (e.g. a synchronous algorithm under a
+synchronizer, or a controller wrapping a protocol) can split their cost
+into components (payload vs. acks vs. control traffic).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["Metrics"]
+
+
+@dataclass
+class Metrics:
+    """Mutable cost/time accounting for one simulation run."""
+
+    message_count: int = 0
+    comm_cost: float = 0.0
+    completion_time: float = 0.0   # time of the last delivery / finish event
+    last_finish_time: float = 0.0  # time the last process called finish()
+    cost_by_tag: dict = field(default_factory=lambda: defaultdict(float))
+    count_by_tag: dict = field(default_factory=lambda: defaultdict(int))
+
+    def record_message(self, weight: float, size: float, tag: str) -> None:
+        cost = weight * size
+        self.message_count += 1
+        self.comm_cost += cost
+        self.cost_by_tag[tag] += cost
+        self.count_by_tag[tag] += 1
+
+    def summary(self) -> str:
+        parts = [
+            f"messages={self.message_count}",
+            f"comm_cost={self.comm_cost:g}",
+            f"time={self.completion_time:g}",
+        ]
+        for tag in sorted(self.cost_by_tag):
+            parts.append(
+                f"{tag}: n={self.count_by_tag[tag]} cost={self.cost_by_tag[tag]:g}"
+            )
+        return "  ".join(parts)

@@ -1,0 +1,228 @@
+"""The asynchronous network simulator.
+
+Implements the paper's model (Section 1.2-1.3): a static weighted graph
+where transmitting a message over edge ``e`` costs ``w(e)`` and takes some
+delay in ``[0, w(e)]`` chosen by a :class:`~repro.sim.delays.DelayModel`.
+Channels are FIFO per directed edge.  An optional *serialized* mode makes
+each directed channel transmit one message at a time (store-and-forward),
+which is the regime where the congestion effects discussed in Section 3
+become visible; the default is the classical model (unbounded pipelining,
+every message independently delayed).
+
+The simulator is single-threaded and deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from typing import Any, Optional
+
+from ..graphs.weighted_graph import Vertex, WeightedGraph
+from .delays import DelayModel, MaximalDelay
+from .events import EventQueue
+from .metrics import Metrics
+from .process import Process
+
+__all__ = ["Network", "RunResult"]
+
+
+class _NodeContext:
+    """Injected into each process; mediates all interaction with the network."""
+
+    __slots__ = ("_network", "node_id", "neighbors", "weights", "is_finished", "result")
+
+    def __init__(self, network: "Network", node_id: Vertex) -> None:
+        self._network = network
+        self.node_id = node_id
+        self.neighbors = network.graph.neighbors(node_id)
+        self.weights = network.graph.neighbor_weights(node_id)
+        self.is_finished = False
+        self.result: Any = None
+
+    @property
+    def now(self) -> float:
+        return self._network.queue.now
+
+    def send(self, to: Vertex, payload: Any, size: float, tag: Optional[str]) -> None:
+        if to not in self.weights:
+            raise ValueError(f"{self.node_id!r} has no edge to {to!r}")
+        self._network._transmit(self.node_id, to, payload, size, tag)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> None:
+        self._network.queue.schedule(delay, callback)
+
+    def finish(self, result: Any) -> None:
+        if not self.is_finished:
+            self.is_finished = True
+            self.result = result
+            self._network._node_finished(self.node_id)
+
+
+class RunResult:
+    """Outcome of a simulation run: metrics plus per-node results."""
+
+    def __init__(self, metrics: Metrics, processes: dict) -> None:
+        self.metrics = metrics
+        self.processes = processes
+
+    @property
+    def comm_cost(self) -> float:
+        return self.metrics.comm_cost
+
+    @property
+    def message_count(self) -> int:
+        return self.metrics.message_count
+
+    @property
+    def time(self) -> float:
+        return self.metrics.completion_time
+
+    @property
+    def finish_time(self) -> float:
+        """Time the last process called finish() (protocol completion)."""
+        return self.metrics.last_finish_time
+
+    def result_of(self, node: Vertex) -> Any:
+        return self.processes[node].ctx.result
+
+    def results(self) -> dict:
+        return {v: p.ctx.result for v, p in self.processes.items()}
+
+
+class Network:
+    """Discrete-event simulation of one protocol over one weighted graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph ``G = (V, E, w)``.
+    factory:
+        ``factory(node_id) -> Process`` building each node's protocol
+        instance.  Closures over shared configuration (roots, full graph
+        knowledge, precomputed structures) model the paper's preprocessing
+        assumptions.
+    delay:
+        The delay adversary (default: every message takes the full w(e)).
+    seed:
+        Seed for any randomness the delay model consumes.
+    serialize:
+        If True, each directed channel transmits one message at a time.
+    default_tag:
+        Metrics tag for untagged sends.
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        factory: Callable[[Vertex], Process],
+        *,
+        delay: Optional[DelayModel] = None,
+        seed: int = 0,
+        serialize: bool = False,
+        default_tag: str = "msg",
+        comm_budget: Optional[float] = None,
+        trace: Optional[Callable[[float, Vertex, Vertex, str, float], None]] = None,
+    ) -> None:
+        self.graph = graph
+        self.queue = EventQueue()
+        self.metrics = Metrics()
+        self.delay_model = delay if delay is not None else MaximalDelay()
+        self.rng = random.Random(seed)
+        self.serialize = serialize
+        self.default_tag = default_tag
+        # Hard communication budget: a send that would exceed it is
+        # suppressed and the run aborts (models the root-aware suspension
+        # the paper's hybrid/controlled algorithms perform *before*
+        # overspending; see Sections 5, 7.2, 8.2).
+        self.comm_budget = comm_budget
+        self.budget_exhausted = False
+        # Optional observer: called as trace(time, frm, to, tag, cost) for
+        # every accepted transmission (debugging / timeline visualisation).
+        self.trace = trace
+        self._finished_count = 0
+        self._channel_clear: dict[tuple[Vertex, Vertex], float] = {}
+        self.processes: dict[Vertex, Process] = {}
+        for v in graph.vertices:
+            proc = factory(v)
+            proc.ctx = _NodeContext(self, v)
+            self.processes[v] = proc
+
+    # ------------------------------------------------------------------ #
+    # Internal plumbing
+    # ------------------------------------------------------------------ #
+
+    def _transmit(
+        self, frm: Vertex, to: Vertex, payload: Any, size: float, tag: Optional[str]
+    ) -> None:
+        weight = self.graph.weight(frm, to)
+        if self.comm_budget is not None and (
+            self.metrics.comm_cost + weight * size > self.comm_budget
+        ):
+            self.budget_exhausted = True
+            return
+        self.metrics.record_message(weight, size, tag or self.default_tag)
+        if self.trace is not None:
+            self.trace(self.queue.now, frm, to, tag or self.default_tag,
+                       weight * size)
+        delay = self.delay_model.delay(frm, to, weight, self.rng)
+        now = self.queue.now
+        channel = (frm, to)
+        if self.serialize:
+            start = max(now, self._channel_clear.get(channel, 0.0))
+            arrive = start + delay
+        else:
+            # FIFO per directed channel even with pipelining: a message may
+            # not overtake an earlier one on the same channel.
+            arrive = max(now + delay, self._channel_clear.get(channel, 0.0))
+        self._channel_clear[channel] = arrive
+        self.queue.schedule_at(arrive, lambda: self._deliver(frm, to, payload))
+
+    def _deliver(self, frm: Vertex, to: Vertex, payload: Any) -> None:
+        self.metrics.completion_time = self.queue.now
+        self.processes[to].on_message(frm, payload)
+
+    def _node_finished(self, node: Vertex) -> None:
+        self._finished_count += 1
+        self.metrics.completion_time = self.queue.now
+        self.metrics.last_finish_time = self.queue.now
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    @property
+    def all_finished(self) -> bool:
+        return self._finished_count == len(self.processes)
+
+    def run(
+        self,
+        *,
+        max_time: float = float("inf"),
+        max_events: int = 50_000_000,
+        stop_when: Optional[Callable[["Network"], bool]] = None,
+    ) -> RunResult:
+        """Start every process and run events until quiescence or a stop.
+
+        Stops when the event queue is empty, ``stop_when(self)`` becomes
+        true, the clock passes ``max_time``, or ``max_events`` events have
+        fired (a runaway-protocol backstop that raises ``RuntimeError``).
+        """
+        for proc in self.processes.values():
+            proc.on_start()
+        events = 0
+        while self.queue:
+            if self.budget_exhausted:
+                break
+            if stop_when is not None and stop_when(self):
+                break
+            if self.queue.now > max_time:
+                break
+            if not self.queue.step():
+                break
+            events += 1
+            if events >= max_events:
+                raise RuntimeError(f"exceeded {max_events} events; runaway protocol?")
+        # Note: quiescing without meeting stop_when is not an error at this
+        # level; callers (runners) decide how to interpret an unfinished run.
+        return RunResult(self.metrics, self.processes)

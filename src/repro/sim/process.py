@@ -1,0 +1,77 @@
+"""The per-node protocol API.
+
+A distributed protocol is a subclass of :class:`Process`; the network
+instantiates one process per vertex.  Processes react to two kinds of
+events — protocol start and message arrival — and may set local timers.
+All knowledge a process has must arrive through these channels or be given
+at construction time (the paper's "full information" algorithms are modeled
+by handing the factory the whole graph).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any, Optional
+
+from ..graphs.weighted_graph import Vertex
+
+__all__ = ["Process"]
+
+
+class Process:
+    """Base class for one node's protocol instance.
+
+    Subclasses override :meth:`on_start` and :meth:`on_message`.  The
+    hosting :class:`~repro.sim.network.Network` injects ``self.ctx`` before
+    calling ``on_start``; the helpers below all delegate to it.
+    """
+
+    ctx: Any  # injected _NodeContext; typed Any to avoid the import cycle
+
+    # ------------------------------------------------------------------ #
+    # Framework surface (subclasses override these)
+    # ------------------------------------------------------------------ #
+
+    def on_start(self) -> None:
+        """Called once at time 0 (before any message delivery)."""
+
+    def on_message(self, frm: Vertex, payload: Any) -> None:
+        """Called on every message arrival."""
+
+    # ------------------------------------------------------------------ #
+    # Helpers available to subclasses
+    # ------------------------------------------------------------------ #
+
+    @property
+    def node_id(self) -> Vertex:
+        return self.ctx.node_id
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.ctx.now
+
+    def neighbors(self) -> list[Vertex]:
+        """This node's neighbors in the communication graph."""
+        return self.ctx.neighbors
+
+    def edge_weight(self, neighbor: Vertex) -> float:
+        """``w(self, neighbor)``."""
+        return self.ctx.weights[neighbor]
+
+    def send(self, to: Vertex, payload: Any, *, size: float = 1.0,
+             tag: Optional[str] = None) -> None:
+        """Transmit a message to a *neighbor*; costs ``w(e) * size``."""
+        self.ctx.send(to, payload, size, tag)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule a zero-cost local callback ``delay`` time units from now."""
+        self.ctx.set_timer(delay, callback)
+
+    def finish(self, result: Any = None) -> None:
+        """Mark this node's protocol as locally complete with a result."""
+        self.ctx.finish(result)
+
+    @property
+    def finished(self) -> bool:
+        return self.ctx.is_finished

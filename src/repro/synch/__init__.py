@@ -1,0 +1,63 @@
+"""Synchronizers: clock synchronization (Sec 3) and network synchronization (Sec 4)."""
+
+from .clock_alpha import AlphaStarProcess, run_alpha_star
+from .clock_base import ClockProcess, ClockStats, check_causality, run_clock_sync
+from .clock_beta import BetaStarProcess, center_spt, run_beta_star
+from .clock_gamma import GammaStarConfig, GammaStarProcess, run_gamma_star
+from .gamma import GammaNode, gamma_configs
+from .gamma_w import (
+    GammaWConfig,
+    GammaWHost,
+    GammaWResult,
+    run_gamma_w,
+    run_synchronous_baseline,
+)
+from .normalize import InSynchWrapper, next_multiple, normalize_graph, power
+from .partition import ClusterInfo, ClusterPartition, build_partition
+
+__all__ = [
+    "ClockProcess",
+    "ClockStats",
+    "run_clock_sync",
+    "check_causality",
+    "AlphaStarProcess",
+    "run_alpha_star",
+    "BetaStarProcess",
+    "run_beta_star",
+    "center_spt",
+    "GammaStarProcess",
+    "GammaStarConfig",
+    "run_gamma_star",
+    "GammaNode",
+    "gamma_configs",
+    "ClusterPartition",
+    "ClusterInfo",
+    "build_partition",
+    "power",
+    "next_multiple",
+    "normalize_graph",
+    "InSynchWrapper",
+    "GammaWConfig",
+    "GammaWHost",
+    "GammaWResult",
+    "run_gamma_w",
+    "run_synchronous_baseline",
+]
+
+from .host_base import SynchronizerHostBase  # noqa: E402
+from .simple_synchronizers import (  # noqa: E402
+    AlphaWHost,
+    BetaWHost,
+    SimpleSyncResult,
+    run_alpha_w,
+    run_beta_w,
+)
+
+__all__ += [
+    "SynchronizerHostBase",
+    "AlphaWHost",
+    "BetaWHost",
+    "SimpleSyncResult",
+    "run_alpha_w",
+    "run_beta_w",
+]

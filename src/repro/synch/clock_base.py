@@ -1,0 +1,106 @@
+"""Shared scaffolding for the clock synchronizers of Section 3.
+
+Clock synchronization (after [ER90]): every node must generate a sequence
+of pulses such that pulse ``p`` at a node happens causally after all its
+neighbors generated pulse ``p-1``.  The figure of merit is the *pulse
+delay* — the maximum physical time between two successive pulses at a node
+— for which ``d = max_(u,v) in E dist(u, v)`` is a lower bound and the
+paper's gamma* achieves ``O(d log^2 n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graphs.weighted_graph import WeightedGraph
+from ..sim.delays import DelayModel
+from ..sim.network import Network, RunResult
+from ..sim.process import Process
+
+__all__ = ["ClockProcess", "ClockStats", "run_clock_sync", "check_causality"]
+
+
+class ClockProcess(Process):
+    """Base class: pulse bookkeeping common to alpha*, beta*, gamma*."""
+
+    def __init__(self, target: int) -> None:
+        self.target = target
+        self.pulse = -1
+        self.pulse_times: list[float] = []
+
+    def generate_pulse(self) -> None:
+        """Record the next pulse and let the subclass act on it."""
+        self.pulse += 1
+        self.pulse_times.append(self.now)
+        if self.pulse >= self.target and not self.finished:
+            self.finish(self.pulse_times)
+        self.after_pulse(self.pulse)
+
+    def after_pulse(self, pulse: int) -> None:
+        """Subclass hook: emit whatever messages pulse ``pulse`` requires."""
+        raise NotImplementedError
+
+
+class ClockStats:
+    """Pulse-delay and cost statistics of one clock-synchronization run."""
+
+    def __init__(self, result: RunResult, target: int) -> None:
+        self.result = result
+        self.target = target
+        self.pulse_times = {
+            v: p.pulse_times for v, p in result.processes.items()
+        }
+        deltas = [
+            times[i + 1] - times[i]
+            for times in self.pulse_times.values()
+            for i in range(min(target, len(times) - 1))
+        ]
+        self.max_pulse_delay = max(deltas) if deltas else 0.0
+        self.mean_pulse_delay = sum(deltas) / len(deltas) if deltas else 0.0
+        self.comm_cost_per_pulse = result.comm_cost / max(1, target)
+
+    def __str__(self) -> str:
+        return (
+            f"pulses={self.target} max_delay={self.max_pulse_delay:g} "
+            f"mean_delay={self.mean_pulse_delay:g} "
+            f"cost/pulse={self.comm_cost_per_pulse:g}"
+        )
+
+
+def run_clock_sync(
+    graph: WeightedGraph,
+    factory,
+    target: int,
+    *,
+    delay: Optional[DelayModel] = None,
+    seed: int = 0,
+    serialize: bool = False,
+) -> ClockStats:
+    """Run a clock synchronizer until every node generated ``target`` pulses."""
+    net = Network(graph, factory, delay=delay, seed=seed, serialize=serialize)
+
+    def reached(n: Network) -> bool:
+        return all(p.pulse >= target for p in n.processes.values())
+
+    result = net.run(stop_when=reached)
+    if not reached(net):
+        raise RuntimeError("clock synchronizer stalled before reaching target")
+    return ClockStats(result, target)
+
+
+def check_causality(graph: WeightedGraph, stats: ClockStats) -> None:
+    """Assert pulse p at v happens at-or-after every neighbor's pulse p-1."""
+    times = stats.pulse_times
+    for u, v, _ in graph.edges():
+        upper = min(len(times[u]), len(times[v]))
+        for p in range(1, upper):
+            if times[v][p] < times[u][p - 1] - 1e-9:
+                raise AssertionError(
+                    f"causality violated: {v!r} pulsed {p} at {times[v][p]} "
+                    f"before {u!r} pulsed {p - 1} at {times[u][p - 1]}"
+                )
+            if times[u][p] < times[v][p - 1] - 1e-9:
+                raise AssertionError(
+                    f"causality violated: {u!r} pulsed {p} at {times[u][p]} "
+                    f"before {v!r} pulsed {p - 1} at {times[v][p - 1]}"
+                )

@@ -1,0 +1,199 @@
+"""Clock synchronizer gamma* (Section 3.3).
+
+gamma* combines beta* inside each tree of a *tree edge-cover*
+(Definition 3.1, built in :mod:`repro.covers.tree_cover`) with an alpha*-
+style exchange between neighboring trees (trees sharing a node).  Per
+pulse ``p``, each tree ``t``:
+
+1. convergecasts "all of t generated pulse p" to t's leader (beta phase);
+2. the leader broadcasts TREE_DONE down t; every member sitting in some
+   other tree ``t'`` relays the notice up t' to t''s leader;
+3. once a leader knows its own tree and all neighboring trees are done
+   with pulse p it broadcasts GO(p+1); a node generates pulse p+1 when
+   every tree containing it says GO.
+
+Correctness: for every edge (u, v) some tree contains both endpoints
+(property 3 of the cover), so v's GO implies u finished pulse p.  Delay:
+each phase is a constant number of depth-``O(d log n)`` tree traversals,
+and since every edge is shared by at most ``O(log n)`` trees the
+congestion on a serialized link adds at most another ``O(log n)`` factor —
+total pulse delay ``O(d log^2 n)``, against the ``Omega(d)`` lower bound.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Optional
+
+from ..covers.tree_cover import TreeEdgeCover, build_tree_edge_cover
+from ..graphs.weighted_graph import Vertex, WeightedGraph
+from ..protocols.convergecast import rooted_tree_structure
+from ..sim.delays import DelayModel
+from .clock_base import ClockProcess, ClockStats, run_clock_sync
+
+__all__ = ["GammaStarProcess", "GammaStarConfig", "run_gamma_star"]
+
+
+class GammaStarConfig:
+    """Preprocessed per-node views of the tree edge-cover."""
+
+    def __init__(self, graph: WeightedGraph, cover: TreeEdgeCover) -> None:
+        self.graph = graph
+        self.cover = cover
+        self.trees = cover.trees
+        # Rooted orientation of every tree.
+        self.parent: list[dict] = []
+        self.children: list[dict] = []
+        for ct in cover.trees:
+            parent, children = rooted_tree_structure(ct.tree, ct.root)
+            self.parent.append(parent)
+            self.children.append(children)
+        # Which trees contain each vertex.
+        self.trees_of: dict[Vertex, list[int]] = defaultdict(list)
+        for idx, ct in enumerate(cover.trees):
+            for v in ct.vertices:
+                self.trees_of[v].append(idx)
+        # Neighboring trees: trees sharing at least one vertex.
+        self.neighbor_trees: list[frozenset] = []
+        shared: dict[int, set[int]] = defaultdict(set)
+        for v, idxs in self.trees_of.items():
+            for i in idxs:
+                for j in idxs:
+                    if i != j:
+                        shared[i].add(j)
+        for idx in range(len(cover.trees)):
+            self.neighbor_trees.append(frozenset(shared[idx]))
+
+
+# Message kinds: every payload is (kind, tree_index, pulse[, extra]).
+_SUBTREE = "subtree_done"
+_TREEDONE = "tree_done"
+_RELAY = "nbr_done"       # extra = originating tree index
+_GO = "go"
+
+
+class GammaStarProcess(ClockProcess):
+    """One node of synchronizer gamma*."""
+
+    def __init__(self, node_id: Vertex, config: GammaStarConfig, target: int) -> None:
+        super().__init__(target)
+        self._node = node_id
+        self.config = config
+        self.my_trees = list(config.trees_of[node_id])
+        # per-tree bookkeeping, keyed (tree, pulse)
+        self._child_done: dict[tuple, int] = defaultdict(int)
+        self._reported: set[tuple] = set()
+        self._tree_done_seen: set[tuple] = set()
+        self._go_received: dict[int, set[int]] = defaultdict(set)
+        # leader state
+        self._nbr_done: dict[tuple, set[int]] = defaultdict(set)
+        self._own_done: set[tuple] = set()
+        self._go_issued: set[tuple] = set()
+
+    # -------------------------------------------------------------- #
+
+    def on_start(self) -> None:
+        self.generate_pulse()  # pulse 0
+
+    def after_pulse(self, pulse: int) -> None:
+        for t in self.my_trees:
+            self._maybe_report(t, pulse)
+
+    def on_message(self, frm: Vertex, payload: Any) -> None:
+        kind, t, pulse = payload[0], payload[1], payload[2]
+        if kind == _SUBTREE:
+            self._child_done[(t, pulse)] += 1
+            self._maybe_report(t, pulse)
+        elif kind == _TREEDONE:
+            self._on_tree_done(t, pulse)
+        elif kind == _RELAY:
+            self._route_relay(t, pulse, payload[3])
+        elif kind == _GO:
+            self._on_go(t, pulse)
+        else:  # pragma: no cover
+            raise AssertionError(f"unknown gamma* message {kind!r}")
+
+    # ----- phase 1: beta convergecast inside each tree -------------- #
+
+    def _maybe_report(self, t: int, pulse: int) -> None:
+        key = (t, pulse)
+        if key in self._reported or self.pulse < pulse:
+            return
+        if self._child_done[key] < len(self.config.children[t][self._node]):
+            return
+        self._reported.add(key)
+        parent = self.config.parent[t][self._node]
+        if parent is None:
+            self._own_done.add(key)
+            self._on_tree_done(t, pulse)
+            self._maybe_issue_go(t, pulse)
+        else:
+            self.send(parent, (_SUBTREE, t, pulse), tag="gamma*")
+
+    # ----- phase 2: TREE_DONE broadcast + inter-tree relay ---------- #
+
+    def _on_tree_done(self, t: int, pulse: int) -> None:
+        key = (t, pulse)
+        if key in self._tree_done_seen:
+            return
+        self._tree_done_seen.add(key)
+        for c in self.config.children[t][self._node]:
+            self.send(c, (_TREEDONE, t, pulse), tag="gamma*")
+        # Relay into every other tree containing this node.
+        for t2 in self.my_trees:
+            if t2 != t and t in self.config.neighbor_trees[t2]:
+                self._route_relay(t2, pulse, t)
+
+    def _route_relay(self, t2: int, pulse: int, origin: int) -> None:
+        parent = self.config.parent[t2][self._node]
+        if parent is None:
+            self._nbr_done[(t2, pulse)].add(origin)
+            self._maybe_issue_go(t2, pulse)
+        else:
+            self.send(parent, (_RELAY, t2, pulse, origin), tag="gamma*")
+
+    # ----- phase 3: GO --------------------------------------------- #
+
+    def _maybe_issue_go(self, t: int, pulse: int) -> None:
+        key = (t, pulse)
+        if key in self._go_issued or key not in self._own_done:
+            return
+        if not self._nbr_done[key] >= self.config.neighbor_trees[t]:
+            return
+        self._go_issued.add(key)
+        self._on_go(t, pulse + 1)
+
+    def _on_go(self, t: int, pulse: int) -> None:
+        for c in self.config.children[t][self._node]:
+            self.send(c, (_GO, t, pulse), tag="gamma*")
+        self._go_received[pulse].add(t)
+        self._try_pulse(pulse)
+
+    def _try_pulse(self, pulse: int) -> None:
+        if pulse != self.pulse + 1:
+            return
+        if self._go_received[pulse] >= set(self.my_trees):
+            self.generate_pulse()
+
+
+def run_gamma_star(
+    graph: WeightedGraph,
+    target: int,
+    *,
+    cover: Optional[TreeEdgeCover] = None,
+    delay: Optional[DelayModel] = None,
+    seed: int = 0,
+    serialize: bool = False,
+) -> ClockStats:
+    """Run gamma* for ``target`` pulses; returns pulse-delay statistics."""
+    if cover is None:
+        cover = build_tree_edge_cover(graph)
+    config = GammaStarConfig(graph, cover)
+    return run_clock_sync(
+        graph,
+        lambda v: GammaStarProcess(v, config, target),
+        target,
+        delay=delay,
+        seed=seed,
+        serialize=serialize,
+    )

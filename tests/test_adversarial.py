@@ -1,0 +1,100 @@
+"""Failure injection: adversarial delay schedules across the protocol suite.
+
+The paper's time model lets an adversary pick any delay in [0, w(e)] per
+message.  These tests drive the protocols with hostile schedules —
+last-in-first-out-ish bursts, per-direction asymmetry, alternating
+extremes — and assert outputs stay correct (safety never depends on
+timing).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import MAX, compute_global_function
+from repro.graphs import (
+    dijkstra,
+    mst_weight,
+    random_connected_graph,
+    tree_distances,
+)
+from repro.protocols import (
+    run_con_hybrid,
+    run_dfs,
+    run_flood,
+    run_mst_centr,
+    run_mst_fast,
+    run_mst_ghs,
+    run_spt_centr,
+    run_spt_recur,
+    run_spt_synch,
+)
+from repro.sim import PerEdgeDelay
+
+
+def alternating_extremes():
+    """Every other message instant, the rest maximally slow."""
+    flip = itertools.count()
+    return PerEdgeDelay(lambda u, v, w: 0.0 if next(flip) % 2 == 0 else w)
+
+
+def one_slow_direction():
+    """Messages u->v with repr(u) < repr(v) are instant; reverse is slow."""
+    return PerEdgeDelay(lambda u, v, w: 0.0 if repr(u) < repr(v) else w)
+
+
+def bursty(period=5):
+    """Bursts: batches of `period` instant messages, then one slow one."""
+    counter = itertools.count()
+    return PerEdgeDelay(
+        lambda u, v, w: w if next(counter) % (period + 1) == period else 0.0
+    )
+
+
+ADVERSARIES = [alternating_extremes, one_slow_direction, bursty]
+
+
+@pytest.mark.parametrize("adversary", ADVERSARIES)
+def test_flood_and_dfs_under_adversary(adversary):
+    g = random_connected_graph(15, 22, seed=1)
+    result, tree = run_flood(g, 0, delay=adversary())
+    assert tree.is_tree()
+    result, tree = run_dfs(g, 0, delay=adversary())
+    assert tree.is_tree()
+
+
+@pytest.mark.parametrize("adversary", ADVERSARIES)
+def test_mst_suite_under_adversary(adversary):
+    g = random_connected_graph(14, 20, seed=2, max_weight=9)
+    v_opt = mst_weight(g)
+    for runner in (run_mst_ghs, run_mst_fast):
+        _, tree = runner(g, delay=adversary())
+        assert tree.total_weight() == pytest.approx(v_opt)
+    _, tree = run_mst_centr(g, 0, delay=adversary())
+    assert tree.total_weight() == pytest.approx(v_opt)
+
+
+@pytest.mark.parametrize("adversary", ADVERSARIES)
+def test_spt_suite_under_adversary(adversary):
+    g = random_connected_graph(12, 16, seed=3, max_weight=5)
+    dist, _ = dijkstra(g, 0)
+    _, t1 = run_spt_centr(g, 0, delay=adversary())
+    assert tree_distances(t1, 0) == pytest.approx(dist)
+    _, t2 = run_spt_recur(g, 0, delay=adversary())
+    assert tree_distances(t2, 0) == pytest.approx(dist)
+    res, t3 = run_spt_synch(g, 0, delay=adversary())
+    assert tree_distances(t3, 0) == pytest.approx(dist)
+
+
+@pytest.mark.parametrize("adversary", ADVERSARIES)
+def test_global_function_under_adversary(adversary):
+    g = random_connected_graph(18, 24, seed=4)
+    inputs = {v: (v * 31) % 57 for v in g.vertices}
+    _, value = compute_global_function(g, inputs, MAX, delay=adversary())
+    assert value == max(inputs.values())
+
+
+def test_hybrid_under_adversary():
+    g = random_connected_graph(12, 16, seed=5, max_weight=4)
+    outcome = run_con_hybrid(g, 0, delay=one_slow_direction())
+    assert outcome.output.is_tree()

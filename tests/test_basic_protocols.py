@@ -1,0 +1,216 @@
+"""Tests for flooding, tree broadcast/convergecast, DFS, MST/SPT_centr."""
+
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    diameter,
+    mst_weight,
+    network_params,
+    path_graph,
+    prim_mst,
+    random_connected_graph,
+    ring_graph,
+    shortest_path_tree,
+    tree_distances,
+)
+from repro.protocols import (
+    Governor,
+    run_convergecast,
+    run_dfs,
+    run_flood,
+    run_mst_centr,
+    run_spt_centr,
+    run_tree_broadcast,
+)
+from repro.sim import ScaledDelay, UniformDelay
+
+
+# --------------------------------------------------------------------- #
+# CON_flood (Fact 6.1)
+# --------------------------------------------------------------------- #
+
+
+def test_flood_reaches_everyone_and_builds_tree():
+    g = random_connected_graph(30, 40, seed=1)
+    result, tree = run_flood(g, 0, payload="hello")
+    for v in g.vertices:
+        payload, _ = result.result_of(v)
+        assert payload == "hello"
+    assert tree.is_tree()
+    assert tree.num_vertices == g.num_vertices
+
+
+def test_flood_cost_at_most_2E_time_at_most_D():
+    g = random_connected_graph(25, 50, seed=2)
+    p = network_params(g)
+    result, _ = run_flood(g, 0)
+    assert result.comm_cost <= 2 * p.E + 1e-9
+    # Under maximal delays the flood follows shortest paths, so the last
+    # node learns the payload within D (stray duplicates may land later).
+    assert result.finish_time <= p.D + 1e-9
+
+
+def test_flood_time_equals_eccentricity_under_max_delay():
+    g = path_graph(6, weight=3.0)
+    result, _ = run_flood(g, 0)
+    assert result.finish_time == pytest.approx(15.0)
+
+
+def test_flood_tree_is_spt_under_max_delay():
+    # With delay == w(e) exactly, first receipt comes along a shortest path.
+    g = random_connected_graph(20, 30, seed=3)
+    _, tree = run_flood(g, 0)
+    from repro.graphs import dijkstra
+
+    dist, _ = dijkstra(g, 0)
+    depths = tree_distances(tree, 0)
+    assert depths == pytest.approx(dist)
+
+
+# --------------------------------------------------------------------- #
+# Tree broadcast / convergecast
+# --------------------------------------------------------------------- #
+
+
+def test_broadcast_cost_is_tree_weight():
+    g = random_connected_graph(20, 25, seed=4)
+    t = prim_mst(g)
+    root = g.vertices[0]
+    result = run_tree_broadcast(t, root, "v")
+    assert result.comm_cost == pytest.approx(t.total_weight())
+    assert all(r == "v" for r in result.results().values())
+    depth = max(tree_distances(t, root).values())
+    assert result.time == pytest.approx(depth)
+
+
+def test_convergecast_aggregates():
+    t = path_graph(5)
+    values = {v: v for v in t.vertices}
+    result, total = run_convergecast(t, 0, values, lambda a, b: a + b)
+    assert total == 10
+    assert result.comm_cost == pytest.approx(t.total_weight())
+
+
+def test_convergecast_max_on_random_tree():
+    g = random_connected_graph(30, 0, seed=9)  # a random tree
+    values = {v: (v * 7) % 31 for v in g.vertices}
+    _, best = run_convergecast(g, 0, values, max)
+    assert best == max(values.values())
+
+
+def test_broadcast_bad_root_raises():
+    t = WeightedGraph([(0, 1, 1.0), (2, 3, 1.0)])
+    with pytest.raises(ValueError):
+        run_tree_broadcast(t, 0, "x")
+
+
+# --------------------------------------------------------------------- #
+# DFS (Fact 6.2)
+# --------------------------------------------------------------------- #
+
+
+def test_dfs_visits_all_and_builds_tree():
+    g = random_connected_graph(25, 35, seed=5)
+    result, tree = run_dfs(g, 0)
+    assert tree.is_tree()
+    assert tree.num_vertices == g.num_vertices
+    assert all(p.visited for p in result.processes.values())
+
+
+def test_dfs_cost_linear_in_E():
+    g = random_connected_graph(30, 60, seed=6)
+    p = network_params(g)
+    result, _ = run_dfs(g, 0)
+    # Each edge traversed at most 4x (token+back in both directions) plus
+    # geometric update traffic (<= 4x total cost); generous constant:
+    assert result.comm_cost <= 12 * p.E
+
+
+def test_dfs_root_estimate_within_factor_two():
+    g = random_connected_graph(20, 30, seed=7)
+    result, _ = run_dfs(g, 0)
+    root = result.processes[0]
+    traversal_cost = result.metrics.cost_by_tag["dfs"]
+    final = result.result_of(0)
+    assert final <= root.est_root * 2 + 1e-9 or root.est_root >= final / 2
+    # The token's own accounting matches the dfs-tagged traffic.
+    assert final == pytest.approx(traversal_cost)
+
+
+def test_dfs_under_random_delays_still_correct():
+    g = random_connected_graph(15, 25, seed=8)
+    result, tree = run_dfs(g, 0, delay=UniformDelay(), seed=123)
+    assert tree.is_tree()
+
+
+def test_dfs_governor_called():
+    calls = []
+
+    class Spy(Governor):
+        def request(self, algo, est, grant):
+            calls.append(est)
+            grant()
+
+        def algorithm_finished(self, algo, cost):
+            calls.append(("done", algo, cost))
+
+    g = ring_graph(8, weight=2.0)
+    run_dfs(g, 0, governor=Spy())
+    assert calls, "governor should be consulted at least once"
+    # Estimates are increasing and geometric-ish (each >= 2x ... the previous
+    # *root* estimate, so at least doubling apart).
+    ests = [c for c in calls if not isinstance(c, tuple)]
+    for a, b in zip(ests, ests[1:]):
+        assert b > a
+
+
+# --------------------------------------------------------------------- #
+# MST_centr / SPT_centr (Corollaries 6.4 / 6.6)
+# --------------------------------------------------------------------- #
+
+
+def test_mst_centr_builds_mst():
+    g = random_connected_graph(20, 30, seed=10)
+    result, tree = run_mst_centr(g, 0)
+    assert tree.is_tree()
+    assert tree.total_weight() == pytest.approx(mst_weight(g))
+
+
+def test_mst_centr_cost_bound():
+    g = random_connected_graph(20, 30, seed=11)
+    p = network_params(g)
+    result, _ = run_mst_centr(g, 0)
+    # O(n V): per phase <= 2 w(T) + 2 w(e) <= 4V, n-1 phases.
+    assert result.comm_cost <= 4 * p.n * p.V + 1e-9
+
+
+def test_spt_centr_builds_spt():
+    g = random_connected_graph(20, 30, seed=12)
+    result, tree = run_spt_centr(g, 0)
+    assert tree.is_tree()
+    ref = shortest_path_tree(g, 0)
+    assert tree_distances(tree, 0) == pytest.approx(tree_distances(ref, 0))
+
+
+def test_spt_centr_cost_bound():
+    g = random_connected_graph(15, 25, seed=13)
+    p = network_params(g)
+    result, tree = run_spt_centr(g, 0)
+    # O(n w(SPT)) <= O(n^2 V) (Fact 6.5).
+    assert result.comm_cost <= 4 * p.n * (p.n - 1) * p.V + 1e-9
+
+
+def test_centr_algorithms_work_under_random_delays():
+    g = random_connected_graph(15, 20, seed=14)
+    _, t1 = run_mst_centr(g, 0, delay=UniformDelay(), seed=77)
+    assert t1.total_weight() == pytest.approx(mst_weight(g))
+    _, t2 = run_spt_centr(g, 0, delay=ScaledDelay(0.3), seed=77)
+    ref = shortest_path_tree(g, 0)
+    assert tree_distances(t2, 0) == pytest.approx(tree_distances(ref, 0))
+
+
+def test_mst_centr_on_path():
+    g = path_graph(6, weight=2.0)
+    _, tree = run_mst_centr(g, 0)
+    assert tree.total_weight() == pytest.approx(10.0)

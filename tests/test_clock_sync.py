@@ -1,0 +1,149 @@
+"""Tests for clock synchronizers alpha*, beta*, gamma* (Section 3)."""
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    heavy_edge_clock_graph,
+    max_neighbor_distance,
+    network_params,
+    path_graph,
+    random_connected_graph,
+    ring_graph,
+)
+from repro.sim import UniformDelay
+from repro.synch import (
+    check_causality,
+    run_alpha_star,
+    run_beta_star,
+    run_gamma_star,
+)
+
+TARGET = 5
+
+
+# --------------------------------------------------------------------- #
+# alpha*
+# --------------------------------------------------------------------- #
+
+
+def test_alpha_star_pulses_and_causality():
+    g = random_connected_graph(15, 20, seed=1, max_weight=6)
+    stats = run_alpha_star(g, TARGET)
+    for v, times in stats.pulse_times.items():
+        assert len(times) >= TARGET + 1
+        assert times == sorted(times)
+    check_causality(g, stats)
+
+
+def test_alpha_star_delay_is_max_incident_weight():
+    # On a uniform ring every pulse takes exactly one edge weight.
+    g = ring_graph(8, weight=3.0)
+    stats = run_alpha_star(g, TARGET)
+    assert stats.max_pulse_delay == pytest.approx(3.0)
+
+
+def test_alpha_star_pays_W_on_heavy_edge():
+    g = heavy_edge_clock_graph(12, heavy=100.0)
+    p = network_params(g)
+    stats = run_alpha_star(g, TARGET)
+    # alpha* waits for the heavy chord every pulse: delay Theta(W).
+    assert stats.max_pulse_delay >= p.W - 1e-9
+
+
+def test_alpha_star_cost_per_pulse_2E():
+    g = random_connected_graph(12, 18, seed=2)
+    p = network_params(g)
+    stats = run_alpha_star(g, TARGET)
+    # 2 messages per edge per pulse (one each direction).
+    assert stats.comm_cost_per_pulse <= 2 * p.E * (TARGET + 1) / TARGET + 1e-9
+
+
+def test_alpha_star_random_delays_causal():
+    g = random_connected_graph(12, 15, seed=3, max_weight=9)
+    stats = run_alpha_star(g, TARGET, delay=UniformDelay(), seed=7)
+    check_causality(g, stats)
+
+
+# --------------------------------------------------------------------- #
+# beta*
+# --------------------------------------------------------------------- #
+
+
+def test_beta_star_pulses_and_causality():
+    g = random_connected_graph(15, 20, seed=4, max_weight=6)
+    stats = run_beta_star(g, TARGET)
+    for times in stats.pulse_times.values():
+        assert len(times) >= TARGET + 1
+    # beta* synchronizes globally, so causality holds on the full graph.
+    check_causality(g, stats)
+
+
+def test_beta_star_delay_about_twice_depth():
+    g = path_graph(9, weight=2.0)  # center 4, depth 8
+    stats = run_beta_star(g, TARGET)
+    assert stats.max_pulse_delay == pytest.approx(2 * 8.0)
+
+
+def test_beta_star_beats_alpha_when_D_less_than_W():
+    g = heavy_edge_clock_graph(16, heavy=500.0)
+    a = run_alpha_star(g, TARGET)
+    b = run_beta_star(g, TARGET)
+    assert b.max_pulse_delay < a.max_pulse_delay / 5
+
+
+def test_beta_star_explicit_tree_requires_root():
+    g = ring_graph(6)
+    from repro.graphs import shortest_path_tree
+
+    t = shortest_path_tree(g, 0)
+    with pytest.raises(ValueError):
+        run_beta_star(g, TARGET, tree=t)
+    stats = run_beta_star(g, TARGET, tree=t, root=0)
+    assert stats.max_pulse_delay > 0
+
+
+# --------------------------------------------------------------------- #
+# gamma*
+# --------------------------------------------------------------------- #
+
+
+def test_gamma_star_pulses_and_causality():
+    g = random_connected_graph(15, 20, seed=5, max_weight=6)
+    stats = run_gamma_star(g, TARGET)
+    for times in stats.pulse_times.values():
+        assert len(times) >= TARGET + 1
+    check_causality(g, stats)
+
+
+def test_gamma_star_delay_bound_d_log2n():
+    g = heavy_edge_clock_graph(16, heavy=1000.0)
+    d = max_neighbor_distance(g)
+    n = g.num_vertices
+    stats = run_gamma_star(g, TARGET)
+    # O(d log^2 n) with a generous constant; crucially independent of W.
+    bound = 8 * d * math.log2(n) ** 2
+    assert stats.max_pulse_delay <= bound
+
+
+def test_gamma_star_beats_alpha_on_heavy_edge():
+    g = heavy_edge_clock_graph(20, heavy=2000.0)
+    a = run_alpha_star(g, TARGET)
+    c = run_gamma_star(g, TARGET)
+    assert c.max_pulse_delay < a.max_pulse_delay / 10
+
+
+def test_gamma_star_random_delays_causal():
+    g = random_connected_graph(12, 15, seed=6, max_weight=9)
+    stats = run_gamma_star(g, TARGET, delay=UniformDelay(), seed=11)
+    check_causality(g, stats)
+
+
+def test_gamma_star_under_serialized_links():
+    """The congestion regime of Section 3: still correct, delay still
+    bounded away from W."""
+    g = heavy_edge_clock_graph(12, heavy=500.0)
+    stats = run_gamma_star(g, TARGET, serialize=True)
+    check_causality(g, stats)
+    assert stats.max_pulse_delay < 500.0

@@ -1,0 +1,169 @@
+"""Tests for the controller (Section 5)."""
+
+import math
+
+import pytest
+
+from repro.control import run_controlled
+from repro.graphs import network_params, path_graph, random_connected_graph, ring_graph
+from repro.protocols.broadcast import FloodProcess
+from repro.sim import Process
+
+
+class Runaway(Process):
+    """A faulty diffusing protocol: floods forever (simulates divergence)."""
+
+    def on_start(self):
+        if getattr(self, "start_it", False):
+            for v in self.neighbors():
+                self.send(v, 0)
+
+    def on_message(self, frm, k):
+        for v in self.neighbors():
+            self.send(v, k + 1)
+
+
+def _flood_factory(initiator):
+    def factory(v):
+        return FloodProcess(v == initiator, payload="data")
+
+    return factory
+
+
+def _runaway_factory(initiator):
+    def factory(v):
+        p = Runaway()
+        p.start_it = v == initiator
+        return p
+
+    return factory
+
+
+def _uncontrolled_flood_cost(g, initiator):
+    from repro.protocols import run_flood
+
+    result, _ = run_flood(g, initiator)
+    return result.comm_cost
+
+
+# --------------------------------------------------------------------- #
+# Correct executions are untouched
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("mode", ["naive", "aggregated"])
+def test_correct_execution_completes(mode):
+    g = random_connected_graph(15, 20, seed=1)
+    c_pi = _uncontrolled_flood_cost(g, 0)
+    outcome = run_controlled(g, _flood_factory(0), 0, threshold=c_pi, mode=mode)
+    assert not outcome.halted
+    # every node received the payload
+    for v in g.vertices:
+        payload, _parent = outcome.inner_result_of(v)
+        assert payload == "data"
+    # Consumption stays within the flood's structural bound (the exact
+    # value is timing-dependent: permits shift which copies arrive first,
+    # and first-arrival edges are the ones not echoed back).
+    p = network_params(g)
+    assert outcome.consumed <= 2 * p.E
+    assert outcome.consumed >= p.V  # it did span the network
+    assert outcome.proto_cost == pytest.approx(outcome.consumed)
+
+
+def test_correct_execution_ring_both_modes_agree():
+    g = ring_graph(10, weight=4.0)
+    c_pi = _uncontrolled_flood_cost(g, 0)
+    naive = run_controlled(g, _flood_factory(0), 0, c_pi, mode="naive")
+    aggr = run_controlled(g, _flood_factory(0), 0, c_pi, mode="aggregated")
+    assert not naive.halted and not aggr.halted
+    # On a uniform-weight ring the flood cost is timing-independent.
+    assert naive.consumed == pytest.approx(aggr.consumed)
+
+
+# --------------------------------------------------------------------- #
+# Runaway executions are cut off at ~2x threshold
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("mode", ["naive", "aggregated"])
+def test_runaway_is_halted(mode):
+    g = random_connected_graph(10, 15, seed=2)
+    threshold = 200.0
+    outcome = run_controlled(
+        g, _runaway_factory(0), 0, threshold, mode=mode, max_events=2_000_000
+    )
+    assert outcome.halted
+    # The paper's guarantee: consumption capped by twice the threshold.
+    assert outcome.consumed <= 2 * threshold + 1e-9
+
+
+def test_runaway_halt_scales_with_threshold():
+    g = ring_graph(8, weight=1.0)
+    small = run_controlled(g, _runaway_factory(0), 0, 50.0)
+    large = run_controlled(g, _runaway_factory(0), 0, 500.0)
+    assert small.halted and large.halted
+    assert small.consumed <= 100.0 + 1e-9
+    assert large.consumed <= 1000.0 + 1e-9
+    assert large.consumed > small.consumed
+
+
+# --------------------------------------------------------------------- #
+# Overhead bounds (Corollary 5.1)
+# --------------------------------------------------------------------- #
+
+
+def test_aggregated_overhead_polylog():
+    g = random_connected_graph(30, 45, seed=3)
+    c_pi = _uncontrolled_flood_cost(g, 0)
+    outcome = run_controlled(g, _flood_factory(0), 0, c_pi, mode="aggregated")
+    bound = c_pi * math.log2(max(4.0, c_pi)) ** 2
+    assert outcome.control_cost <= bound
+    assert outcome.total_cost <= c_pi + bound
+
+
+class ChunkStream(Process):
+    """Diffusing protocol with repeated sends: flood a wake-up, then every
+    non-initiator streams K data chunks back to its flood parent.  Nodes
+    that send many times are exactly where request aggregation pays off."""
+
+    def __init__(self, start_it, chunks):
+        self.start_it = start_it
+        self.chunks = chunks
+        self._joined = start_it
+
+    def on_start(self):
+        if self.start_it:
+            for v in self.neighbors():
+                self.send(v, ("wake",))
+
+    def on_message(self, frm, payload):
+        if payload[0] == "wake" and not self._joined:
+            self._joined = True
+            for v in self.neighbors():
+                if v != frm:
+                    self.send(v, ("wake",))
+            for i in range(self.chunks):
+                self.send(frm, ("chunk", i))
+
+
+def test_aggregated_cheaper_than_naive_on_repeated_senders():
+    # Deep tree + many sends per node: the naive controller pays one
+    # root round trip per chunk, the aggregated one O(log chunks) per node.
+    g = path_graph(20, weight=2.0)
+    chunks = 64
+    threshold = 2.0 * (2 * g.num_edges + chunks * (g.num_vertices - 1))
+
+    def factory(v):
+        return ChunkStream(v == 0, chunks)
+
+    naive = run_controlled(g, factory, 0, threshold, mode="naive")
+    aggr = run_controlled(g, factory, 0, threshold, mode="aggregated")
+    assert not naive.halted and not aggr.halted
+    assert naive.consumed == pytest.approx(aggr.consumed)
+    assert aggr.control_cost < naive.control_cost / 4
+
+
+def test_bad_mode_rejected():
+    g = ring_graph(5)
+    with pytest.raises(ValueError):
+        run_controlled(g, _flood_factory(0), 0, 10.0, mode="turbo")

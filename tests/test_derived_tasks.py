@@ -1,0 +1,114 @@
+"""Tests for Section 1.4.1's derived tasks and the multi-initiator controller."""
+
+import pytest
+
+from repro.control import run_controlled_multi
+from repro.core import broadcast_value, detect_termination
+from repro.core.lower_bounds import global_function_comm_lower_bound
+from repro.graphs import network_params, random_connected_graph, ring_graph
+from repro.protocols.broadcast import FloodProcess
+from repro.sim import Process, UniformDelay
+
+
+# --------------------------------------------------------------------- #
+# Broadcast as a symmetric compact function
+# --------------------------------------------------------------------- #
+
+
+def test_broadcast_value_reaches_everyone():
+    g = random_connected_graph(25, 30, seed=1)
+    result, value = broadcast_value(g, origin=7, value="the news")
+    assert value == "the news"
+    for v in g.vertices:
+        assert result.result_of(v) == "the news"
+
+
+def test_broadcast_value_cost_theta_V():
+    g = random_connected_graph(30, 45, seed=2)
+    p = network_params(g)
+    result, _ = broadcast_value(g, origin=3, value=42)
+    lb = global_function_comm_lower_bound(g)
+    assert lb <= result.comm_cost <= 4 * p.V + 1e-9
+
+
+def test_broadcast_value_under_random_delays():
+    g = ring_graph(12, weight=3.0)
+    result, value = broadcast_value(g, origin=5, value=("x", 1),
+                                    delay=UniformDelay(), seed=4)
+    assert value == ("x", 1)
+
+
+# --------------------------------------------------------------------- #
+# Termination detection as AND
+# --------------------------------------------------------------------- #
+
+
+def test_detect_termination_all_done():
+    g = random_connected_graph(20, 25, seed=3)
+    result, done = detect_termination(g, {v: True for v in g.vertices})
+    assert done is True
+    for v in g.vertices:
+        assert result.result_of(v) is True
+
+
+def test_detect_termination_one_straggler():
+    g = random_connected_graph(20, 25, seed=3)
+    flags = {v: True for v in g.vertices}
+    flags[11] = False
+    _, done = detect_termination(g, flags)
+    assert done is False
+
+
+# --------------------------------------------------------------------- #
+# Multi-initiator controller
+# --------------------------------------------------------------------- #
+
+
+def test_multi_initiator_correct_run_completes():
+    g = random_connected_graph(20, 25, seed=5)
+    p = network_params(g)
+
+    def factory(v):
+        return FloodProcess(v in (0, 9), payload="dual")
+
+    outcome = run_controlled_multi(
+        g, factory, [0, 9], threshold_per_root=2 * p.E
+    )
+    assert not outcome.halted
+    for v in g.vertices:
+        payload, _parent = outcome.inner_result_of(v)
+        assert payload == "dual"
+
+
+def test_multi_initiator_runaway_capped():
+    class Storm(Process):
+        def on_start(self):
+            if getattr(self, "boom", False):
+                for v in self.neighbors():
+                    self.send(v, 0)
+
+        def on_message(self, frm, k):
+            for v in self.neighbors():
+                self.send(v, k + 1)
+
+    g = ring_graph(10, weight=2.0)
+    roots = [0, 5]
+    threshold = 150.0
+
+    def factory(v):
+        p = Storm()
+        p.boom = v in roots
+        return p
+
+    outcome = run_controlled_multi(
+        g, factory, roots, threshold, max_events=2_000_000
+    )
+    assert outcome.halted
+    # Cap: 2 x (number of roots) x per-root threshold.
+    assert outcome.consumed <= 2 * len(roots) * threshold + 1e-9
+
+
+def test_multi_initiator_requires_initiators():
+    g = ring_graph(5)
+    with pytest.raises(ValueError):
+        run_controlled_multi(g, lambda v: FloodProcess(False), [], 10.0)

@@ -1,0 +1,24 @@
+"""Smoke tests: the example scripts run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+# The fast subset (the heavier demos are exercised by the benchmarks'
+# shared experiment functions anyway).
+FAST = ["quickstart.py", "slt_walkthrough.py", "message_timeline.py",
+        "leader_and_termination.py"]
+
+
+@pytest.mark.parametrize("script", FAST)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()

@@ -1,0 +1,80 @@
+"""Tests for the experiments package (registry, rendering, CLI plumbing)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments import (
+    Table,
+    all_experiments,
+    render_markdown,
+    render_text,
+)
+
+
+def test_registry_has_every_paper_artifact():
+    registry = all_experiments()
+    expected = {"fig1", "fig2", "fig3", "fig4", "fig5", "fig7",
+                "clock", "synch", "controller"}
+    assert expected <= set(registry)
+    for key, (desc, runner) in registry.items():
+        assert isinstance(desc, str) and desc
+        assert callable(runner)
+
+
+def test_table_column_access():
+    t = Table("t", ["a", "b"], [[1, 2], [3, 4]])
+    assert t.column("a") == [1, 3]
+    assert t.column("b") == [2, 4]
+    with pytest.raises(ValueError):
+        t.column("nope")
+
+
+def test_render_text_and_markdown():
+    t = Table("demo", ["x", "ratio"], [[1, 0.333333], [1000, 12345.6]],
+              notes="a note")
+    txt = render_text(t)
+    assert "demo" in txt and "0.33" in txt and "1.23e+04" in txt
+    assert "a note" in txt
+    md = render_markdown(t)
+    assert md.startswith("### demo")
+    assert "| x | ratio |" in md
+    assert "*a note*" in md
+
+
+def test_fig1_experiment_returns_consistent_table():
+    desc, runner = all_experiments()["fig1"]
+    (table,) = runner()
+    assert table.header[0] == "n"
+    assert len(table.rows) >= 3
+    # comm/V >= 1 for every row (the lower bound).
+    for ratio in table.column("comm/V"):
+        assert ratio >= 1.0 - 1e-9
+
+
+def test_cli_list():
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "--list"],
+        capture_output=True, text=True, check=True,
+    )
+    assert "fig1" in out.stdout
+    assert "controller" in out.stdout
+
+
+def test_cli_unknown_key():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "not-an-experiment"],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 2
+    assert "unknown experiment" in proc.stderr
+
+
+def test_cli_runs_one_experiment_markdown():
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "fig1", "--markdown"],
+        capture_output=True, text=True, check=True, timeout=300,
+    )
+    assert "### Figure 1" in out.stdout
+    assert "| n | m |" in out.stdout

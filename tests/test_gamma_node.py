@@ -1,0 +1,163 @@
+"""Isolated unit tests for the synchronizer-gamma state machine.
+
+GammaNode is transport-agnostic, so we can drive it with a fake transport
+and check the control-plane logic (safety convergecast, cluster-safe
+broadcast, preferred-edge exchange, GO issuance) without a simulator.
+"""
+
+import pytest
+
+from repro.graphs import path_graph, ring_graph, WeightedGraph
+from repro.synch import build_partition
+from repro.synch.gamma import (
+    CLUSTER_SAFE,
+    GO,
+    NBR_SAFE,
+    SUBTREE_SAFE,
+    GammaNode,
+)
+
+
+class Harness:
+    """Instantiates GammaNode at every vertex with an in-memory transport."""
+
+    def __init__(self, graph, k=2):
+        self.partition = build_partition(graph, k=k)
+        self.sent = []       # (frm, to, msg) log
+        self.gos = []        # (node, pulse) log
+        self.queue = []
+        self.nodes = {}
+        for v in graph.vertices:
+            self.nodes[v] = GammaNode(
+                v, self.partition,
+                send=lambda to, msg, v=v: self._send(v, to, msg),
+                on_go=lambda p, v=v: self.gos.append((v, p)),
+            )
+
+    def _send(self, frm, to, msg):
+        self.sent.append((frm, to, msg))
+        self.queue.append((frm, to, msg))
+
+    def deliver_all(self):
+        while self.queue:
+            frm, to, msg = self.queue.pop(0)
+            self.nodes[to].handle(frm, msg)
+
+    def declare_all_safe(self, pulse):
+        for node in self.nodes.values():
+            node.node_safe(pulse)
+        self.deliver_all()
+
+
+def test_single_cluster_go_after_all_safe():
+    g = path_graph(4)  # k=2 partition may make one or more clusters
+    h = Harness(g, k=4)  # large k: single cluster likely
+    if len(h.partition.clusters) == 1:
+        h.declare_all_safe(0)
+        # every node got GO for pulse 1
+        assert {(v, 1) for v in g.vertices} <= set(h.gos)
+
+
+def test_go_requires_all_members_safe():
+    g = path_graph(4)
+    h = Harness(g, k=4)
+    if len(h.partition.clusters) == 1:
+        members = list(g.vertices)
+        for v in members[:-1]:
+            h.nodes[v].node_safe(0)
+        h.deliver_all()
+        assert not h.gos  # one member missing
+        h.nodes[members[-1]].node_safe(0)
+        h.deliver_all()
+        assert h.gos
+
+
+def test_multi_cluster_waits_for_neighbors():
+    # Force >= 2 clusters with k=2 on a ring.
+    g = ring_graph(12)
+    h = Harness(g, k=2)
+    assert len(h.partition.clusters) >= 2
+    # Make only cluster 0's members safe.
+    c0 = h.partition.clusters[0]
+    for v in c0.members:
+        h.nodes[v].node_safe(0)
+    h.deliver_all()
+    # Cluster 0 cannot GO: its neighbors are not safe yet.
+    assert not h.gos
+    # Now everyone.
+    h.declare_all_safe(0)
+    assert {(v, 1) for v in g.vertices} <= set(h.gos)
+
+
+def test_sequential_pulses():
+    g = ring_graph(8)
+    h = Harness(g, k=2)
+    for p in range(3):
+        h.declare_all_safe(p)
+        assert {(v, p + 1) for v in g.vertices} <= set(h.gos)
+
+
+def test_out_of_order_safety_reports_buffered():
+    """A cluster can receive neighbor-safe notices for a future pulse
+    before its own members report; per-pulse keyed state must buffer."""
+    g = ring_graph(12)
+    h = Harness(g, k=2)
+    clusters = h.partition.clusters
+    assert len(clusters) >= 2
+    fast = clusters[0]
+    # Fast cluster reports pulse 0 AND pulse 1 before anyone else moves.
+    for v in fast.members:
+        h.nodes[v].node_safe(0)
+    h.deliver_all()
+    for v in fast.members:
+        h.nodes[v].node_safe(1)
+    h.deliver_all()
+    assert not h.gos
+    # Now the rest catches up on pulse 0 then 1.
+    for c in clusters[1:]:
+        for v in c.members:
+            h.nodes[v].node_safe(0)
+    h.deliver_all()
+    go_set = set(h.gos)
+    for v in g.vertices:
+        assert (v, 1) in go_set
+    for c in clusters[1:]:
+        for v in c.members:
+            h.nodes[v].node_safe(1)
+    h.deliver_all()
+    go_set = set(h.gos)
+    for v in g.vertices:
+        assert (v, 2) in go_set
+
+
+def test_node_safe_idempotent():
+    g = path_graph(3)
+    h = Harness(g, k=4)
+    n_sent_before = len(h.sent)
+    h.nodes[0].node_safe(0)
+    h.nodes[0].node_safe(0)
+    h.nodes[0].node_safe(0)
+    after_first = [m for m in h.sent if m[0] == 0]
+    # Duplicate declarations add no extra traffic.
+    h2 = Harness(g, k=4)
+    h2.nodes[0].node_safe(0)
+    assert len([m for m in h2.sent if m[0] == 0]) == len(after_first)
+
+
+def test_unknown_message_rejected():
+    g = path_graph(3)
+    h = Harness(g, k=4)
+    with pytest.raises(AssertionError):
+        h.nodes[0].handle(1, ("bogus", 0))
+
+
+def test_control_messages_stay_on_cluster_or_preferred_edges():
+    g = ring_graph(12)
+    h = Harness(g, k=2)
+    h.declare_all_safe(0)
+    part = h.partition
+    preferred_pairs = {frozenset(e) for e in part.preferred.values()}
+    for frm, to, msg in h.sent:
+        same_cluster = part.cluster_of[frm] == part.cluster_of[to]
+        on_preferred = frozenset((frm, to)) in preferred_pairs
+        assert same_cluster or on_preferred, (frm, to, msg)

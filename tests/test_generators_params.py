@@ -1,0 +1,132 @@
+"""Tests for graph generators and the weighted network parameters."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    complete_graph,
+    grid_graph,
+    heavy_edge_clock_graph,
+    lower_bound_graph,
+    lower_bound_split_graph,
+    mst_weight,
+    network_params,
+    path_graph,
+    random_connected_graph,
+    ring_graph,
+    script_D,
+    script_E,
+    script_V,
+    spoke_graph,
+    star_graph,
+)
+
+
+def test_generators_shapes():
+    assert path_graph(5).num_edges == 4
+    assert ring_graph(5).num_edges == 5
+    assert grid_graph(3, 4).num_edges == 3 * 3 + 4 * 2
+    assert star_graph(6).num_edges == 5
+    assert complete_graph(5).num_edges == 10
+
+
+def test_random_connected_graph_connected_and_deterministic():
+    g1 = random_connected_graph(30, 25, seed=11)
+    g2 = random_connected_graph(30, 25, seed=11)
+    assert g1.is_connected()
+    assert sorted(g1.edge_list()) == sorted(g2.edge_list())
+    assert g1.num_edges == 29 + 25
+
+
+def test_random_connected_graph_caps_extra_edges():
+    g = random_connected_graph(5, 1000, seed=0)
+    assert g.num_edges == 10  # complete graph
+
+
+# --------------------------------------------------------------------- #
+# Lower-bound family G_n (Figure 7)
+# --------------------------------------------------------------------- #
+
+
+def test_lower_bound_graph_structure():
+    n = 9
+    g = lower_bound_graph(n)
+    x = float(n + 1)
+    # path edges
+    for i in range(1, n):
+        assert g.weight(i, i + 1) == x
+    # bypass edges (i, n+1-i) for 1 <= i < n/2
+    for i in range(1, (n + 1) // 2):
+        j = n + 1 - i
+        if j not in (i, i + 1):
+            assert g.weight(i, j) == x**4
+    # MST is the path alone: script-V = (n-1) X
+    assert mst_weight(g) == pytest.approx((n - 1) * x)
+
+
+def test_lower_bound_graph_small_n_rejected():
+    with pytest.raises(ValueError):
+        lower_bound_graph(3)
+    with pytest.raises(ValueError):
+        lower_bound_graph(10, heavy=5.0)  # X must exceed n
+
+
+def test_lower_bound_split_graph():
+    n, i = 9, 3
+    g = lower_bound_split_graph(n, i)
+    assert not g.has_edge(i, n + 1 - i)
+    assert g.has_edge(i, ("v", i))
+    assert g.has_edge(n + 1 - i, ("w", i))
+    assert g.num_vertices == n + 2
+    assert g.is_connected()
+    with pytest.raises(ValueError):
+        lower_bound_split_graph(9, 5)  # i >= n/2
+
+
+# --------------------------------------------------------------------- #
+# Clock-sync instance (d << W) and spoke graph
+# --------------------------------------------------------------------- #
+
+
+def test_heavy_edge_clock_graph_d_much_less_than_W():
+    g = heavy_edge_clock_graph(16, heavy=1000.0)
+    p = network_params(g)
+    assert p.W == 1000.0
+    assert p.d == 8.0  # around the ring
+    assert p.d < p.W / 100
+
+
+def test_spoke_graph_mst_vs_spt_tension():
+    g = spoke_graph(10, spoke_weight=50.0, rim_weight=1.0)
+    p = network_params(g)
+    # MST: rim (9 edges) + one spoke = 59; SPT from hub would weigh 500.
+    assert p.V == pytest.approx(59.0)
+    # Farthest pair: hub <-> any tip at distance 50 (tips are mutually
+    # within 9 of each other via the rim).
+    assert p.D == pytest.approx(50.0)
+    assert p.D == script_D(g)
+
+
+# --------------------------------------------------------------------- #
+# Parameter relations (paper Section 1.3 / Fact 6.3)
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(4, 30), st.integers(0, 40), st.integers(0, 1000))
+def test_parameter_sanity_relations(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed)
+    p = network_params(g)
+    assert p.D <= p.V + 1e-9          # diameter <= MST weight
+    assert p.V <= p.E + 1e-9          # MST <= total weight
+    assert p.d <= p.W + 1e-9          # neighbor distance <= max weight
+    assert p.V <= (p.n - 1) * p.D + 1e-9  # Fact 6.3
+    assert p.E == pytest.approx(script_E(g))
+    assert p.V == pytest.approx(script_V(g))
+
+
+def test_network_params_disconnected_raises():
+    from repro.graphs import WeightedGraph
+
+    with pytest.raises(ValueError):
+        network_params(WeightedGraph([(0, 1, 1.0), (2, 3, 1.0)]))

@@ -1,0 +1,155 @@
+"""Tests for global symmetric compact function computation (Section 2)."""
+
+import operator
+from functools import reduce
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AND,
+    COUNT,
+    MAX,
+    MIN,
+    OR,
+    SUM,
+    XOR,
+    SymmetricCompactFunction,
+    check_run_against_global_bounds,
+    compute_global_function,
+    global_function_comm_lower_bound,
+    global_function_time_lower_bound,
+    run_distributed_slt,
+    shallow_light_tree,
+)
+from repro.graphs import (
+    diameter,
+    mst_weight,
+    network_params,
+    random_connected_graph,
+    ring_graph,
+)
+from repro.sim import UniformDelay
+
+
+# --------------------------------------------------------------------- #
+# Function family
+# --------------------------------------------------------------------- #
+
+
+def test_fold_reference_semantics():
+    assert MAX.fold([3, 1, 4, 1, 5]) == 5
+    assert MIN.fold([3, 1, 4]) == 1
+    assert SUM.fold([1, 2, 3]) == 6
+    assert XOR.fold([0b101, 0b011]) == 0b110
+    assert AND.fold([True, True, False]) is False
+    assert OR.fold([False, False, True]) is True
+    with pytest.raises(ValueError):
+        SUM.fold([])
+
+
+def test_custom_function():
+    gcd = SymmetricCompactFunction("gcd", lambda a, b: __import__("math").gcd(a, b))
+    assert gcd.fold([12, 18, 24]) == 6
+
+
+# --------------------------------------------------------------------- #
+# Distributed computation: correctness at every node
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("func,oracle", [
+    (MAX, max),
+    (SUM, sum),
+    (MIN, min),
+    (XOR, lambda xs: reduce(operator.xor, xs)),
+])
+def test_all_nodes_learn_global_value(func, oracle):
+    g = random_connected_graph(25, 30, seed=1)
+    inputs = {v: (v * 13 + 5) % 101 for v in g.vertices}
+    result, value = compute_global_function(g, inputs, func)
+    assert value == oracle(list(inputs.values()))
+    for v in g.vertices:
+        assert result.result_of(v) == value
+
+
+def test_count_via_ones():
+    g = ring_graph(10)
+    result, value = compute_global_function(g, {v: 1 for v in g.vertices}, COUNT)
+    assert value == 10
+
+
+def test_missing_inputs_rejected():
+    g = ring_graph(5)
+    with pytest.raises(ValueError):
+        compute_global_function(g, {0: 1}, SUM)
+
+
+def test_under_random_delays():
+    g = random_connected_graph(20, 25, seed=2)
+    inputs = {v: v for v in g.vertices}
+    _, value = compute_global_function(
+        g, inputs, MAX, delay=UniformDelay(), seed=99
+    )
+    assert value == max(inputs.values())
+
+
+# --------------------------------------------------------------------- #
+# Upper bound (Corollary 2.3) and lower bound (Theorem 2.1)
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(5, 30), st.integers(0, 40), st.integers(0, 1000))
+def test_cost_between_lower_bound_and_slt_upper_bound(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed)
+    p = network_params(g)
+    inputs = {v: 1 for v in g.vertices}
+    q = 2.0
+    result, _ = compute_global_function(g, inputs, SUM, q=q)
+    # Upper bound: convergecast + broadcast over the SLT.
+    slt = shallow_light_tree(g, g.vertices[0], q)
+    assert result.comm_cost <= 2 * slt.weight + 1e-6
+    assert result.comm_cost <= 2 * (1 + 2 / q) * p.V + 1e-6
+    assert result.finish_time <= 2 * (2 * q + 1) * p.D + 1e-6
+    # Lower bound: Omega(V) communication (Theorem 2.1).
+    ratios = check_run_against_global_bounds(g, result.comm_cost, result.time)
+    assert ratios["comm_ratio"] >= 1.0 - 1e-9
+
+
+def test_lower_bound_values():
+    g = random_connected_graph(15, 15, seed=3)
+    assert global_function_comm_lower_bound(g) == pytest.approx(mst_weight(g))
+    assert global_function_time_lower_bound(g) == pytest.approx(diameter(g))
+
+
+def test_check_run_raises_below_bound():
+    g = ring_graph(6, weight=2.0)
+    with pytest.raises(AssertionError):
+        check_run_against_global_bounds(g, comm_cost=1.0, time=100.0)
+
+
+# --------------------------------------------------------------------- #
+# Distributed SLT construction (Theorem 2.7)
+# --------------------------------------------------------------------- #
+
+
+def test_distributed_slt_matches_sequential_and_obeys_bounds():
+    g = random_connected_graph(18, 25, seed=4)
+    p = network_params(g)
+    out = run_distributed_slt(g, 0, q=2.0)
+    seq = shallow_light_tree(g, 0, q=2.0)
+    assert sorted(out.tree.edge_list()) == sorted(seq.tree.edge_list())
+    # Theorem 2.7: O(V n^2) communication, O(D n^2) time (generous constant).
+    assert out.comm_cost <= 8 * p.V * p.n**2
+    assert out.time <= 8 * p.D * p.n**2
+    # And the tree is an SLT:
+    assert out.tree.total_weight() <= 2 * p.V + 1e-6
+
+
+def test_global_function_on_precomputed_tree():
+    g = random_connected_graph(12, 12, seed=5)
+    slt = shallow_light_tree(g, 0, 2.0)
+    inputs = {v: v + 1 for v in g.vertices}
+    result, value = compute_global_function(g, inputs, SUM, tree=slt.tree)
+    assert value == sum(inputs.values())

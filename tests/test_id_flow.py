@@ -1,0 +1,89 @@
+"""Tests for the knowledge-flow auditor (Lemmas 7.1/7.2 observability)."""
+
+import pytest
+
+from repro.core import (
+    extract_ids,
+    id_crossings,
+    lemma_7_1_meetings,
+    meeting_points,
+    run_audited,
+)
+from repro.graphs import lower_bound_graph, path_graph, random_connected_graph
+from repro.protocols.broadcast import FloodProcess
+from repro.protocols.dfs import DfsProcess
+from repro.protocols.mst_ghs import GhsProcess
+
+
+def test_extract_ids_scalars_and_containers():
+    universe = frozenset(range(10))
+    assert extract_ids(3, universe) == {3}
+    assert extract_ids("x", universe) == set()
+    assert extract_ids((1, [2, {"k": 5}]), universe) == {1, 2, 5}
+    assert extract_ids({7: (8,)}, universe) == {7, 8}
+
+
+def test_extract_ids_matches_reprs_in_strings():
+    universe = frozenset(range(10))
+    # GHS fragment names embed endpoint reprs as strings.
+    assert extract_ids((60.0, "3", "7"), universe) == {3, 7}
+
+
+def test_extract_ids_is_an_over_approximation():
+    # A numeric value equal to an id counts as that id (6.0 == 6): the
+    # auditor deliberately over-approximates rather than missing flows.
+    universe = frozenset(range(10))
+    assert 6 in {int(x) for x in extract_ids((6.0,), universe)}
+
+
+def test_apriori_knowledge_is_registers():
+    g = path_graph(4)
+    result = run_audited(g, lambda v: FloodProcess(v == 0, "payload"), )
+    # Flood payloads carry no ids: knowledge stays at the registers.
+    for v, proc in result.processes.items():
+        assert proc.known == {v} | set(g.neighbors(v))
+
+
+def test_flood_ships_no_ids():
+    g = random_connected_graph(10, 12, seed=1)
+    result = run_audited(g, lambda v: FloodProcess(v == 0, "w"))
+    assert id_crossings(result) == {}
+
+
+def test_ghs_ships_ids_in_fragment_names():
+    g = random_connected_graph(10, 12, seed=2)
+    result = run_audited(
+        g, lambda v: GhsProcess(n_total=g.num_vertices),
+        stop_when=lambda n: n.all_finished,
+    )
+    crossings = id_crossings(result)
+    assert crossings, "GHS fragment names must carry endpoint ids"
+    assert sum(crossings.values()) > 0
+
+
+def test_meeting_points_on_gn():
+    n = 8
+    g = lower_bound_graph(n)
+    result = run_audited(
+        g, lambda v: GhsProcess(n_total=g.num_vertices),
+        stop_when=lambda n_: n_.all_finished,
+    )
+    meetings = lemma_7_1_meetings(result, n)
+    # Every bypass pair meets at least at its own endpoints (adjacent).
+    for i, where in meetings.items():
+        assert i in where or (n + 1 - i) in where or where
+
+
+def test_meeting_points_simple():
+    g = path_graph(3)
+    result = run_audited(g, lambda v: FloodProcess(v == 0, "x"))
+    # 0 and 2 are not adjacent and no ids travel: only vertex 1 knows both.
+    assert meeting_points(result, 0, 2) == [1]
+
+
+def test_dfs_token_carries_no_ids_but_control_does():
+    g = random_connected_graph(8, 10, seed=3)
+    result = run_audited(g, lambda v: DfsProcess(v == 0))
+    crossings = id_crossings(result)
+    # The DFS UPDATE/PERMIT path lists carry vertex ids.
+    assert isinstance(crossings, dict)

@@ -1,0 +1,59 @@
+"""Max-consensus under every synchronizer: the generic-transformer test."""
+
+import pytest
+
+from repro.graphs import diameter, random_connected_graph, ring_graph
+from repro.protocols import (
+    SyncMaxConsensus,
+    run_max_consensus_gamma_w,
+    run_max_consensus_reference,
+)
+from repro.sim import UniformDelay
+from repro.synch import run_alpha_w, run_beta_w
+
+
+def _values(g, seed=0):
+    return {v: (hash((v, seed)) % 1000) for v in g.vertices}
+
+
+def test_reference_converges_to_global_max():
+    g = random_connected_graph(20, 30, seed=1, max_weight=6)
+    values = _values(g)
+    res = run_max_consensus_reference(g, values)
+    target = max(values.values())
+    for v in g.vertices:
+        assert res.result_of(v) == target
+
+
+def test_reference_pulse_count_at_most_diameter():
+    g = ring_graph(12, weight=3.0)
+    values = {v: v for v in g.vertices}
+    res = run_max_consensus_reference(g, values)
+    # Convergence along shortest paths: last activity within D + W.
+    assert res.pulses <= diameter(g) + 3 + 1
+
+
+def test_gamma_w_matches_reference():
+    g = random_connected_graph(16, 24, seed=2, max_weight=8)
+    values = _values(g, seed=5)
+    target = max(values.values())
+    res = run_max_consensus_gamma_w(g, values, delay=UniformDelay(), seed=3)
+    for v in g.vertices:
+        assert res.result_of(v) == target
+
+
+@pytest.mark.parametrize("runner_name", ["alpha", "beta"])
+def test_simple_synchronizers_host_it_too(runner_name):
+    g = random_connected_graph(12, 18, seed=3, max_weight=5)
+    values = _values(g, seed=9)
+    target = max(values.values())
+    stop = int(diameter(g)) + 1
+    w_max = int(max(w for _, _, w in g.edges()))
+    max_pulse = 4 * (stop + 1) + 4 * w_max + 8
+    factory = lambda v: SyncMaxConsensus(values[v], stop)
+    if runner_name == "alpha":
+        res = run_alpha_w(g, factory, max_pulse=max_pulse)
+    else:
+        res = run_beta_w(g, factory, max_pulse=max_pulse)
+    for v in g.vertices:
+        assert res.result_of(v) == target

@@ -1,0 +1,184 @@
+"""Coverage for remaining corners: orders, hybrid race edge cases,
+clock stats, in-synch enforcement, tree-cover helpers."""
+
+import pytest
+
+from repro.covers import build_tree_edge_cover
+from repro.graphs import (
+    WeightedGraph,
+    mst_weight,
+    path_graph,
+    prim_mst,
+    random_connected_graph,
+    ring_graph,
+    shortest_path_tree,
+)
+from repro.protocols.full_info import dijkstra_order, prim_order
+from repro.protocols.hybrid import race
+from repro.sim import SynchronousProtocol, SynchronousRunner
+from repro.synch.clock_base import ClockStats
+
+
+# --------------------------------------------------------------------- #
+# Addition orders (full-information preprocessing)
+# --------------------------------------------------------------------- #
+
+
+def test_prim_order_builds_mst_incrementally():
+    g = random_connected_graph(15, 25, seed=1)
+    order = prim_order(g, 0)
+    assert len(order) == g.num_vertices - 1
+    in_tree = {0}
+    total = 0.0
+    for u, v in order:
+        assert u in in_tree and v not in in_tree
+        in_tree.add(v)
+        total += g.weight(u, v)
+    assert total == pytest.approx(mst_weight(g))
+
+
+def test_dijkstra_order_matches_spt():
+    g = random_connected_graph(15, 25, seed=2)
+    order = dijkstra_order(g, 0)
+    spt = shortest_path_tree(g, 0)
+    tree_edges = {frozenset((u, v)) for u, v, _ in spt.edges()}
+    assert {frozenset(e) for e in order} == tree_edges
+    # Vertices appear in nondecreasing distance order.
+    from repro.graphs import dijkstra
+
+    dist, _ = dijkstra(g, 0)
+    dists = [dist[v] for _, v in order]
+    assert dists == sorted(dists)
+
+
+def test_dijkstra_order_disconnected_raises():
+    g = WeightedGraph([(0, 1, 1.0)], vertices=[2])
+    with pytest.raises(ValueError):
+        dijkstra_order(g, 0)
+
+
+# --------------------------------------------------------------------- #
+# Hybrid race corner cases
+# --------------------------------------------------------------------- #
+
+
+def test_race_single_algorithm():
+    outcome = race(
+        {"only": lambda b: (min(b, 20.0), 1.0, "ok" if b >= 20 else None)},
+        initial_budget=1.0,
+    )
+    assert outcome.winner == "only"
+    assert outcome.rounds == 6  # budgets 1,2,4,8,16,32
+
+
+def test_race_first_round_win_costs_nothing_extra():
+    outcome = race(
+        {"a": lambda b: (3.0, 1.0, "done"), "b": lambda b: (99.0, 1.0, None)},
+        initial_budget=10.0,
+    )
+    assert outcome.winner == "a"
+    assert outcome.total_comm_cost == 3.0
+    assert outcome.rounds == 1
+
+
+def test_race_history_records_all_attempts():
+    calls = []
+
+    def attempt(name, threshold):
+        def fn(budget):
+            calls.append((name, budget))
+            done = budget >= threshold
+            return min(budget, threshold), 0.0, ("x" if done else None)
+
+        return fn
+
+    outcome = race({"a": attempt("a", 100.0), "b": attempt("b", 12.0)},
+                   initial_budget=4.0)
+    assert outcome.winner == "b"
+    # budgets: 4 (both fail), 8 (both fail), 16 (a fails, b completes)
+    assert [h[0] for h in outcome.history] == ["a", "b", "a", "b", "a", "b"]
+    assert outcome.history[-1][3] is True
+    assert [h[1] for h in outcome.history if h[0] == "b"] == [4.0, 8.0, 16.0]
+
+
+# --------------------------------------------------------------------- #
+# ClockStats arithmetic
+# --------------------------------------------------------------------- #
+
+
+class _FakeRun:
+    def __init__(self, times, cost):
+        class _P:
+            def __init__(self, t):
+                self.pulse_times = t
+
+        self.processes = {i: _P(t) for i, t in enumerate(times)}
+        self.comm_cost = cost
+
+
+def test_clock_stats_delays():
+    run = _FakeRun([[0.0, 2.0, 5.0], [0.0, 1.0, 6.0]], cost=10.0)
+    stats = ClockStats(run, target=2)
+    assert stats.max_pulse_delay == 5.0   # 6.0 - 1.0
+    assert stats.comm_cost_per_pulse == 5.0
+    assert "max_delay" in str(stats)
+
+
+def test_clock_stats_empty():
+    run = _FakeRun([[0.0]], cost=0.0)
+    stats = ClockStats(run, target=0)
+    assert stats.max_pulse_delay == 0.0
+
+
+# --------------------------------------------------------------------- #
+# In-synch enforcement
+# --------------------------------------------------------------------- #
+
+
+class OffBeatSender(SynchronousProtocol):
+    """Deliberately violates Definition 4.2 (sends at pulse 1 on w=2)."""
+
+    def on_pulse(self, pulse, inbox):
+        if pulse == 1 and self.node_id == 0:
+            self.send(1, "late")
+        if pulse >= 3:
+            self.finish(None)
+
+
+def test_sync_runner_flags_out_of_synch_sends():
+    g = WeightedGraph([(0, 1, 2.0)])
+    runner = SynchronousRunner(g, lambda v: OffBeatSender(),
+                               require_in_synch=True)
+    with pytest.raises(RuntimeError, match="not in synch"):
+        runner.run(max_pulses=10)
+
+
+def test_sync_runner_permissive_by_default():
+    g = WeightedGraph([(0, 1, 2.0)])
+    runner = SynchronousRunner(g, lambda v: OffBeatSender())
+    result = runner.run(max_pulses=10)
+    assert result.message_count == 1
+
+
+# --------------------------------------------------------------------- #
+# Tree edge-cover helpers
+# --------------------------------------------------------------------- #
+
+
+def test_trees_of_vertex():
+    g = ring_graph(10)
+    tec = build_tree_edge_cover(g)
+    for v in g.vertices:
+        idxs = tec.trees_of_vertex(v)
+        assert idxs, f"{v} in no tree"
+        for i in idxs:
+            assert v in tec.trees[i].vertices
+
+
+def test_cover_tree_depths_consistent():
+    g = random_connected_graph(15, 20, seed=3)
+    tec = build_tree_edge_cover(g)
+    assert tec.max_depth == max(t.depth for t in tec.trees)
+    assert tec.max_edge_load == max(
+        len(v) for v in tec.edge_load.values()
+    )

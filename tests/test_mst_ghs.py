@@ -1,0 +1,171 @@
+"""Tests for MST_ghs and MST_fast (Sections 8.1, 8.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    WeightedGraph,
+    complete_graph,
+    mst_weight,
+    network_params,
+    path_graph,
+    random_connected_graph,
+    ring_graph,
+)
+from repro.protocols.mst_ghs import run_mst_fast, run_mst_ghs
+from repro.sim import ScaledDelay, UniformDelay
+
+
+def _assert_is_mst(graph, tree):
+    assert tree.is_tree()
+    assert tree.num_vertices == graph.num_vertices
+    assert tree.total_weight() == pytest.approx(mst_weight(graph))
+
+
+# --------------------------------------------------------------------- #
+# Correctness across topologies, modes and delay adversaries
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("runner", [run_mst_ghs, run_mst_fast])
+@pytest.mark.parametrize("maker", [
+    lambda: path_graph(2, weight=5.0),
+    lambda: path_graph(10, weight=3.0),
+    lambda: ring_graph(9, weight=2.0),
+    lambda: complete_graph(8),
+    lambda: random_connected_graph(20, 30, seed=1),
+    lambda: random_connected_graph(30, 60, seed=2, max_weight=50),
+])
+def test_ghs_variants_compute_mst(runner, maker):
+    g = maker()
+    _, tree = runner(g)
+    _assert_is_mst(g, tree)
+
+
+@pytest.mark.parametrize("runner", [run_mst_ghs, run_mst_fast])
+def test_ghs_under_random_delays(runner):
+    for seed in range(4):
+        g = random_connected_graph(18, 28, seed=seed + 10)
+        _, tree = runner(g, delay=UniformDelay(), seed=seed)
+        _assert_is_mst(g, tree)
+
+
+@pytest.mark.parametrize("runner", [run_mst_ghs, run_mst_fast])
+def test_ghs_with_zero_delays(runner):
+    g = random_connected_graph(15, 25, seed=3)
+    _, tree = runner(g, delay=ScaledDelay(0.0))
+    _assert_is_mst(g, tree)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 25), st.integers(0, 40), st.integers(0, 10_000))
+def test_ghs_random_graphs_property(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed)
+    _, tree = run_mst_ghs(g)
+    _assert_is_mst(g, tree)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 20), st.integers(0, 30), st.integers(0, 10_000))
+def test_ghs_fast_random_graphs_property(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed, max_weight=30)
+    _, tree = run_mst_fast(g)
+    _assert_is_mst(g, tree)
+
+
+def test_ghs_duplicate_weights():
+    # All weights equal: correctness must come from the tie-breaking keys.
+    g = complete_graph(10, weight=7.0)
+    _, tree = run_mst_ghs(g)
+    _assert_is_mst(g, tree)
+    _, tree2 = run_mst_fast(g)
+    _assert_is_mst(g, tree2)
+
+
+def test_ghs_two_nodes():
+    g = WeightedGraph([(0, 1, 9.0)])
+    _, tree = run_mst_ghs(g)
+    assert tree.has_edge(0, 1)
+
+
+def test_ghs_rejects_single_vertex():
+    with pytest.raises(ValueError):
+        run_mst_ghs(WeightedGraph(vertices=[0]))
+
+
+# --------------------------------------------------------------------- #
+# Complexity bounds (Lemma 8.1 / Corollary 8.3)
+# --------------------------------------------------------------------- #
+
+
+def test_ghs_communication_bound():
+    g = random_connected_graph(40, 120, seed=5, max_weight=20)
+    p = network_params(g)
+    result, _ = run_mst_ghs(g)
+    # O(E + V log n) with a generous constant.
+    bound = 6 * (p.E + p.V * math.log2(p.n))
+    assert result.comm_cost <= bound
+
+
+def test_fast_communication_bound():
+    g = random_connected_graph(40, 120, seed=6, max_weight=20)
+    p = network_params(g)
+    result, _ = run_mst_fast(g)
+    # O(E log n log V) with a generous constant.
+    bound = 6 * p.E * math.log2(p.n) * max(1.0, math.log2(p.V))
+    assert result.comm_cost <= bound
+
+
+def test_fast_avoids_heavy_edge_scans():
+    """One gigantic non-MST edge: serial GHS pays to probe it; MST_fast's
+    doubling guess never needs to reach it, so its *time* stays small."""
+    n = 24
+    g = ring_graph(n, weight=2.0)
+    g.add_edge(0, n // 2, 10_000.0)
+    ghs_res, t1 = run_mst_ghs(g)
+    fast_res, t2 = run_mst_fast(g)
+    _assert_is_mst(g, t1)
+    _assert_is_mst(g, t2)
+    # Serial GHS probes the heavy edge (Test or Reject traffic across it);
+    # its communication therefore carries a ~10k term.
+    assert ghs_res.comm_cost > 10_000.0
+    # The fast variant's search stops at threshold ~4 (< heavy weight).
+    assert fast_res.comm_cost < 10_000.0
+
+
+def test_fast_absorb_after_report_regression():
+    """Regression: a fragment that absorbs a lower-level fragment after one
+    of its members already reported 'nothing below threshold' must not halt
+    prematurely (the absorbed subtree's unprobed edges are invisible to the
+    stale `more` bits).  Found by hypothesis; the fix gates halting on the
+    member count.  Seed 117 reproduces the race deterministically."""
+    g = random_connected_graph(9, 0, seed=117, max_weight=30)
+    _, tree = run_mst_fast(g)
+    _assert_is_mst(g, tree)
+
+
+def test_fast_merge_threshold_symmetry_regression():
+    """Regression: at a merge, both core endpoints must agree on the new
+    fragment threshold (it is now carried inside Connect).  With
+    asymmetric thresholds the two halves search different weight ranges,
+    report different 'minimum' outgoing edges, and two fragments can
+    deadlock on crossed Connect messages.  Seed 57 reproduces it."""
+    g = random_connected_graph(16, 18, seed=57, max_weight=30)
+    _, tree = run_mst_fast(g)
+    _assert_is_mst(g, tree)
+
+
+def test_fast_stress_many_seeds():
+    """A broad deterministic sweep guarding against merge/threshold races
+    (100 quick instances across sizes, densities and delay models)."""
+    for n, extra in ((5, 3), (9, 0), (12, 20), (16, 18), (22, 40)):
+        for seed in range(10):
+            g = random_connected_graph(n, extra, seed=seed * 13 + n,
+                                       max_weight=30)
+            _, tree = run_mst_fast(g, max_events=3_000_000)
+            _assert_is_mst(g, tree)
+            _, tree = run_mst_fast(g, delay=UniformDelay(), seed=seed,
+                                   max_events=3_000_000)
+            _assert_is_mst(g, tree)

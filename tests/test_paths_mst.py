@@ -1,0 +1,189 @@
+"""Tests for shortest paths / MST, cross-checked against networkx oracles."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    WeightedGraph,
+    diameter,
+    dijkstra,
+    distance,
+    eccentricity,
+    kruskal_mst,
+    max_neighbor_distance,
+    minimum_spanning_tree,
+    mst_weight,
+    path_graph,
+    prim_mst,
+    radius_center,
+    random_connected_graph,
+    ring_graph,
+    shortest_path,
+    shortest_path_tree,
+    tree_distances,
+    tree_path,
+)
+
+
+def to_nx(g: WeightedGraph) -> nx.Graph:
+    h = nx.Graph()
+    h.add_nodes_from(g.vertices)
+    for u, v, w in g.edges():
+        h.add_edge(u, v, weight=w)
+    return h
+
+
+# --------------------------------------------------------------------- #
+# Dijkstra / distances
+# --------------------------------------------------------------------- #
+
+
+def test_dijkstra_path_graph():
+    g = path_graph(5, weight=2.0)
+    dist, parent = dijkstra(g, 0)
+    assert dist == {0: 0.0, 1: 2.0, 2: 4.0, 3: 6.0, 4: 8.0}
+    assert parent[4] == 3 and parent[0] is None
+
+
+def test_dijkstra_prefers_light_detour():
+    g = WeightedGraph([(0, 1, 10.0), (0, 2, 1.0), (2, 1, 1.0)])
+    dist, parent = dijkstra(g, 0)
+    assert dist[1] == 2.0
+    assert parent[1] == 2
+
+
+def test_dijkstra_missing_source():
+    with pytest.raises(KeyError):
+        dijkstra(path_graph(3), 99)
+
+
+def test_distance_disconnected_is_inf():
+    g = WeightedGraph([(0, 1, 1.0)], vertices=[2])
+    assert distance(g, 0, 2) == float("inf")
+
+
+def test_shortest_path_endpoints():
+    g = ring_graph(6)
+    p = shortest_path(g, 0, 3)
+    assert p[0] == 0 and p[-1] == 3
+    assert len(p) == 4  # 3 hops either way
+
+
+def test_shortest_path_unreachable_raises():
+    g = WeightedGraph([(0, 1, 1.0)], vertices=[2])
+    with pytest.raises(ValueError):
+        shortest_path(g, 0, 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(10, 40), st.integers(0, 40), st.integers(0, 1000))
+def test_dijkstra_matches_networkx(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed)
+    dist, _ = dijkstra(g, 0)
+    nx_dist = nx.single_source_dijkstra_path_length(to_nx(g), 0)
+    assert dist == pytest.approx(nx_dist)
+
+
+# --------------------------------------------------------------------- #
+# Trees
+# --------------------------------------------------------------------- #
+
+
+def test_shortest_path_tree_is_tree_with_correct_depths():
+    g = random_connected_graph(25, 30, seed=7)
+    spt = shortest_path_tree(g, 0)
+    assert spt.is_tree()
+    dist, _ = dijkstra(g, 0)
+    depths = tree_distances(spt, 0)
+    assert depths == pytest.approx(dist)
+
+
+def test_spt_disconnected_raises():
+    g = WeightedGraph([(0, 1, 1.0)], vertices=[2])
+    with pytest.raises(ValueError):
+        shortest_path_tree(g, 0)
+
+
+def test_tree_path_simple():
+    t = path_graph(5)
+    assert tree_path(t, 0, 4) == [0, 1, 2, 3, 4]
+    assert tree_path(t, 4, 0) == [4, 3, 2, 1, 0]
+    assert tree_path(t, 2, 2) == [2]
+
+
+def test_tree_path_disconnected_raises():
+    t = WeightedGraph([(0, 1, 1.0)], vertices=[2])
+    with pytest.raises(ValueError):
+        tree_path(t, 0, 2)
+
+
+# --------------------------------------------------------------------- #
+# Eccentricity / diameter / d
+# --------------------------------------------------------------------- #
+
+
+def test_eccentricity_and_diameter_path():
+    g = path_graph(5, weight=3.0)
+    assert eccentricity(g, 0) == 12.0
+    assert eccentricity(g, 2) == 6.0
+    assert diameter(g) == 12.0
+
+
+def test_radius_center_path():
+    g = path_graph(5)
+    rad, center = radius_center(g)
+    assert rad == 2.0
+    assert center == 2
+
+
+def test_max_neighbor_distance_heavy_chord():
+    # Ring of 8 light edges + heavy chord: neighbors 0 and 4 are distance 4
+    # apart through the ring even though the chord weighs 100.
+    g = ring_graph(8, 1.0)
+    g.add_edge(0, 4, 100.0)
+    assert max_neighbor_distance(g) == 4.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(5, 25), st.integers(0, 20), st.integers(0, 1000))
+def test_diameter_matches_networkx(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed)
+    assert diameter(g) == pytest.approx(
+        nx.diameter(to_nx(g), weight="weight")
+    )
+
+
+# --------------------------------------------------------------------- #
+# MST
+# --------------------------------------------------------------------- #
+
+
+def test_prim_and_kruskal_agree_on_weight():
+    g = random_connected_graph(30, 60, seed=3)
+    assert prim_mst(g).total_weight() == pytest.approx(
+        kruskal_mst(g).total_weight()
+    )
+
+
+def test_mst_is_spanning_tree():
+    g = random_connected_graph(20, 40, seed=5)
+    t = minimum_spanning_tree(g)
+    assert t.is_tree()
+    assert t.num_vertices == g.num_vertices
+
+
+def test_mst_disconnected_raises():
+    g = WeightedGraph([(0, 1, 1.0), (2, 3, 1.0)])
+    with pytest.raises(ValueError):
+        prim_mst(g)
+    with pytest.raises(ValueError):
+        kruskal_mst(g)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(5, 35), st.integers(0, 50), st.integers(0, 1000))
+def test_mst_weight_matches_networkx(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed)
+    nx_w = nx.minimum_spanning_tree(to_nx(g), weight="weight").size(weight="weight")
+    assert mst_weight(g) == pytest.approx(nx_w)

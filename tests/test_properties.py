@@ -1,0 +1,280 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.covers import coarsen_cover, is_cover, max_cover_degree, subsumes
+from repro.graphs import (
+    WeightedGraph,
+    dijkstra,
+    mst_weight,
+    random_connected_graph,
+    tree_distances,
+)
+from repro.sim import Network, Process, UniformDelay
+from repro.synch import check_causality, next_multiple, normalize_graph, power
+from repro.synch.clock_gamma import run_gamma_star
+
+
+# --------------------------------------------------------------------- #
+# Simulator accounting invariants
+# --------------------------------------------------------------------- #
+
+
+class ChatterProcess(Process):
+    """Sends a scripted number of messages of scripted sizes."""
+
+    def __init__(self, script):
+        self.script = script  # list of (neighbor_index, size)
+
+    def on_start(self):
+        nbrs = self.neighbors()
+        for idx, size in self.script:
+            self.send(nbrs[idx % len(nbrs)], "x", size=size)
+
+    def on_message(self, frm, payload):
+        pass
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(3, 8),
+    st.lists(
+        st.tuples(st.integers(0, 10), st.floats(0.25, 4.0)),
+        min_size=0, max_size=12,
+    ),
+    st.integers(0, 100),
+)
+def test_comm_cost_is_exact_sum_of_weighted_sizes(n, script, seed):
+    g = random_connected_graph(n, n, seed=seed)
+    per_node = {v: script if v == 0 else [] for v in g.vertices}
+    net = Network(g, lambda v: ChatterProcess(per_node[v]))
+    result = net.run()
+    nbrs = g.neighbors(0)
+    expected = sum(
+        g.weight(0, nbrs[idx % len(nbrs)]) * size for idx, size in script
+    )
+    assert result.comm_cost == pytest.approx(expected)
+    assert result.message_count == len(script)
+
+
+class FifoRecorder(Process):
+    def __init__(self, count):
+        self.count = count
+        self.received = []
+
+    def on_start(self):
+        if self.node_id == 0:
+            for i in range(self.count):
+                self.send(self.neighbors()[0], i)
+
+    def on_message(self, frm, payload):
+        self.received.append(payload)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 30), st.integers(0, 10_000))
+def test_channels_are_fifo_under_random_delays(count, seed):
+    g = WeightedGraph([(0, 1, 5.0)])
+    net = Network(g, lambda v: FifoRecorder(count),
+                  delay=UniformDelay(), seed=seed)
+    result = net.run()
+    assert result.processes[1].received == list(range(count))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 20), st.integers(0, 1000), st.booleans())
+def test_serialized_time_at_least_pipelined(count, seed, serialize):
+    """Serialization can only delay deliveries, never speed them up."""
+    g = WeightedGraph([(0, 1, 3.0)])
+    r_pipe = Network(
+        g, lambda v: FifoRecorder(count), delay=UniformDelay(), seed=seed
+    ).run()
+    r_ser = Network(
+        g, lambda v: FifoRecorder(count), delay=UniformDelay(), seed=seed,
+        serialize=True,
+    ).run()
+    assert r_ser.time >= r_pipe.time - 1e-9
+    assert r_ser.processes[1].received == r_pipe.processes[1].received
+
+
+# --------------------------------------------------------------------- #
+# Coarsening on arbitrary random covers (Thm 1.1 beyond path covers)
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(4, 20), st.integers(2, 25), st.integers(1, 4),
+       st.integers(0, 10_000))
+def test_coarsen_arbitrary_covers(universe, clusters, k, seed):
+    rng = random.Random(seed)
+    initial = []
+    for _ in range(clusters):
+        size = rng.randint(1, universe)
+        initial.append(frozenset(rng.sample(range(universe), size)))
+    out = coarsen_cover(initial, k=k)
+    cover = [cc.vertices for cc in out]
+    assert subsumes(cover, initial)
+    members = sorted(i for cc in out for i in cc.kernel_members)
+    assert members == list(range(clusters))
+    m = len(initial)
+    bound = m ** (1.0 / k) * (math.log(m) + 1.0) + 1.0 if m > 1 else 1.0
+    assert max_cover_degree(cover) <= bound + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# Normalization arithmetic (Definitions 4.6 / 4.7)
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 10**6))
+def test_power_properties(w):
+    p = power(w)
+    assert p >= w
+    assert p < 2 * w or w == p == 1 or p == w
+    assert p & (p - 1) == 0  # a power of two
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 10**6), st.integers(0, 20))
+def test_next_multiple_properties(t, i):
+    m = 1 << i
+    nm = next_multiple(t, m)
+    assert nm >= t
+    assert nm % m == 0
+    assert nm - t < m
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(4, 15), st.integers(0, 15), st.integers(0, 1000))
+def test_normalize_graph_distance_distortion(n, extra, seed):
+    """Normalization at most doubles every distance (w <= power(w) < 2w)."""
+    g = random_connected_graph(n, extra, seed=seed)
+    ng = normalize_graph(g)
+    d, _ = dijkstra(g, 0)
+    dn, _ = dijkstra(ng, 0)
+    for v in g.vertices:
+        assert d[v] <= dn[v] < 2 * d[v] or d[v] == dn[v] == 0
+
+
+# --------------------------------------------------------------------- #
+# Clock synchronizer causality as a property
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(6, 14), st.integers(2, 10), st.integers(0, 1000))
+def test_gamma_star_causality_property(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed, max_weight=7)
+    stats = run_gamma_star(g, 3, delay=UniformDelay(), seed=seed)
+    check_causality(g, stats)
+
+
+# --------------------------------------------------------------------- #
+# SLT subgraph invariants
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(3, 20), st.integers(0, 25), st.integers(0, 1000),
+       st.floats(0.5, 8.0))
+def test_slt_subgraph_invariants(n, extra, seed, q):
+    from repro.core import shallow_light_tree
+
+    g = random_connected_graph(n, extra, seed=seed)
+    res = shallow_light_tree(g, 0, q)
+    # G' = MST + added paths: weight <= V + (2/q) V (Lemma 2.4's estimate
+    # applies to G' as well, before the final SPT prunes it).
+    v = mst_weight(g)
+    assert res.subgraph.total_weight() <= (1 + 2 / q) * v + 1e-6
+    # The output tree is a subgraph of G' and of G.
+    for a, b, w in res.tree.edges():
+        assert res.subgraph.has_edge(a, b)
+        assert g.weight(a, b) == w
+    # Depth of any vertex in T equals its distance in G' (T is G''s SPT).
+    dist_gp, _ = dijkstra(res.subgraph, 0)
+    depths = tree_distances(res.tree, 0)
+    assert depths == pytest.approx(dist_gp)
+
+
+# --------------------------------------------------------------------- #
+# Weighted-synchronous semantics: delivery at exactly send + w(e)
+# --------------------------------------------------------------------- #
+
+
+from repro.sim import SynchronousProtocol, SynchronousRunner  # noqa: E402
+
+
+class _EchoRecorder(SynchronousProtocol):
+    """Sends one message per neighbor at pulse 0; records arrival pulses."""
+
+    def __init__(self):
+        self.arrivals = []
+
+    def on_pulse(self, pulse, inbox):
+        for frm, payload in inbox:
+            self.arrivals.append((frm, payload, pulse))
+        if pulse == 0:
+            for v in self.neighbors():
+                self.send(v, ("stamp", self.node_id))
+        if pulse >= 40:
+            self.finish(None)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(3, 12), st.integers(0, 12), st.integers(0, 500))
+def test_synchronous_delivery_exactly_at_send_plus_weight(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed, max_weight=8)
+    runner = SynchronousRunner(g, lambda v: _EchoRecorder())
+    runner.run(max_pulses=100)
+    for v, proto in runner.protocols.items():
+        for frm, (_k, origin), pulse in proto.arrivals:
+            assert origin == frm
+            assert pulse == int(g.weight(frm, v))
+
+
+# --------------------------------------------------------------------- #
+# Delay-model sensitivity: comm is delay-invariant for protocols whose
+# message pattern is deterministic; time scales with the delays.
+# --------------------------------------------------------------------- #
+
+
+def test_mst_centr_comm_invariant_time_scales():
+    from repro.protocols import run_mst_centr
+    from repro.sim import MaximalDelay, ScaledDelay
+
+    g = random_connected_graph(15, 20, seed=31)
+    runs = {}
+    for name, model in (
+        ("zero", ScaledDelay(0.0)),
+        ("half", ScaledDelay(0.5)),
+        ("full", MaximalDelay()),
+    ):
+        res, tree = run_mst_centr(g, 0, delay=model)
+        runs[name] = res
+    # The phase structure is deterministic: identical message counts and
+    # communication cost under every delay assignment.
+    costs = {r.comm_cost for r in runs.values()}
+    counts = {r.message_count for r in runs.values()}
+    assert len(costs) == 1 and len(counts) == 1
+    # Time scales (exactly) linearly with the uniform delay factor.
+    assert runs["zero"].time == 0.0
+    assert runs["half"].time == pytest.approx(runs["full"].time / 2)
+
+
+def test_tree_broadcast_comm_invariant():
+    from repro.graphs import prim_mst
+    from repro.protocols import run_tree_broadcast
+    from repro.sim import ScaledDelay
+
+    g = random_connected_graph(20, 25, seed=32)
+    t = prim_mst(g)
+    costs = set()
+    for f in (0.0, 0.3, 1.0):
+        r = run_tree_broadcast(t, g.vertices[0], "x", delay=ScaledDelay(f))
+        costs.add(r.comm_cost)
+    assert len(costs) == 1

@@ -1,0 +1,152 @@
+"""Robustness: unusual vertex labels, float weights, run-control limits.
+
+The paper's model doesn't care what vertices are called or whether weights
+are integers (synchronous semantics aside), so neither should the
+asynchronous protocol suite.
+"""
+
+import random
+
+import pytest
+
+from repro.core import MAX, compute_global_function, shallow_light_tree
+from repro.graphs import WeightedGraph, mst_weight, network_params
+from repro.protocols import (
+    run_con_hybrid,
+    run_dfs,
+    run_flood,
+    run_leader_election,
+    run_mst_centr,
+    run_mst_fast,
+    run_mst_ghs,
+    run_spt_centr,
+)
+from repro.sim import Network, Process
+
+
+def _string_graph(n=12, extra=10, seed=4):
+    rng = random.Random(seed)
+    names = [f"host-{i:02d}" for i in range(n)]
+    g = WeightedGraph(vertices=names)
+    for i in range(1, n):
+        g.add_edge(names[rng.randrange(i)], names[i], rng.randint(1, 9))
+    added = 0
+    while added < extra:
+        a, b = rng.sample(names, 2)
+        if not g.has_edge(a, b):
+            g.add_edge(a, b, rng.randint(1, 9))
+            added += 1
+    return g, names
+
+
+def _float_graph(n=12, extra=10, seed=5):
+    rng = random.Random(seed)
+    g = WeightedGraph(vertices=range(n))
+    for v in range(1, n):
+        g.add_edge(rng.randrange(v), v, rng.uniform(0.5, 9.5))
+    added = 0
+    while added < extra:
+        a, b = rng.sample(range(n), 2)
+        if not g.has_edge(a, b):
+            g.add_edge(a, b, rng.uniform(0.5, 9.5))
+            added += 1
+    return g
+
+
+# --------------------------------------------------------------------- #
+# String-labeled vertices through the whole suite
+# --------------------------------------------------------------------- #
+
+
+def test_string_vertices_flood_dfs():
+    g, names = _string_graph()
+    _, tree = run_flood(g, names[0])
+    assert tree.is_tree()
+    _, tree = run_dfs(g, names[0])
+    assert tree.is_tree()
+
+
+def test_string_vertices_mst_suite():
+    g, names = _string_graph()
+    v_opt = mst_weight(g)
+    for runner in (run_mst_ghs, run_mst_fast):
+        _, tree = runner(g)
+        assert tree.total_weight() == pytest.approx(v_opt)
+    _, tree = run_mst_centr(g, names[0])
+    assert tree.total_weight() == pytest.approx(v_opt)
+
+
+def test_string_vertices_leader_and_hybrid():
+    g, names = _string_graph()
+    _, leader = run_leader_election(g)
+    assert leader in g
+    outcome = run_con_hybrid(g, names[0])
+    assert outcome.output.is_tree()
+
+
+def test_string_vertices_slt_and_global_function():
+    g, names = _string_graph()
+    p = network_params(g)
+    res = shallow_light_tree(g, names[0], q=2.0)
+    assert res.weight <= 2 * p.V + 1e-9
+    inputs = {v: len(v) + hash(v) % 7 for v in g.vertices}
+    _, value = compute_global_function(g, inputs, MAX)
+    assert value == max(inputs.values())
+
+
+# --------------------------------------------------------------------- #
+# Float weights through the asynchronous suite
+# --------------------------------------------------------------------- #
+
+
+def test_float_weights_mst_suite():
+    g = _float_graph()
+    v_opt = mst_weight(g)
+    for runner in (run_mst_ghs,):
+        _, tree = runner(g)
+        assert tree.total_weight() == pytest.approx(v_opt)
+    _, tree = run_mst_centr(g, 0)
+    assert tree.total_weight() == pytest.approx(v_opt)
+
+
+def test_float_weights_spt_centr_and_dfs():
+    from repro.graphs import dijkstra, tree_distances
+
+    g = _float_graph()
+    _, tree = run_spt_centr(g, 0)
+    dist, _ = dijkstra(g, 0)
+    assert tree_distances(tree, 0) == pytest.approx(dist)
+    _, dfs_tree = run_dfs(g, 0)
+    assert dfs_tree.is_tree()
+
+
+def test_float_weights_rejected_where_integral_semantics_needed():
+    from repro.protocols import run_spt_recur
+    from repro.sim import SynchronousRunner
+    from repro.protocols.spt_synch import SyncBellmanFord
+
+    g = _float_graph()
+    with pytest.raises(ValueError):
+        run_spt_recur(g, 0)  # unit expansion needs integers
+    with pytest.raises(ValueError):
+        SynchronousRunner(g, lambda v: SyncBellmanFord(v == 0, 5))
+
+
+# --------------------------------------------------------------------- #
+# Run-control limits
+# --------------------------------------------------------------------- #
+
+
+def test_max_time_cutoff():
+    class Ticker(Process):
+        def on_start(self):
+            if self.node_id == 0:
+                self.send(1, 0)
+
+        def on_message(self, frm, k):
+            self.send(frm, k + 1)
+
+    g = WeightedGraph([(0, 1, 2.0)])
+    net = Network(g, lambda v: Ticker())
+    result = net.run(max_time=20.0)
+    assert result.time <= 22.0  # one event past the cutoff at most

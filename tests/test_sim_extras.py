@@ -1,0 +1,121 @@
+"""Tests for simulator extras: budgets, tracing, and CostReport measures."""
+
+import pytest
+
+from repro.core.measures import CostReport, report
+from repro.graphs import WeightedGraph, network_params, path_graph, ring_graph
+from repro.sim import Network, Process
+
+
+class Chain(Process):
+    """Forward a token down a path; each hop costs the edge weight."""
+
+    def on_start(self):
+        if self.node_id == 0:
+            self.send(1, "tok")
+
+    def on_message(self, frm, payload):
+        nxt = self.node_id + 1
+        if nxt in self.ctx.weights:
+            self.send(nxt, payload)
+        else:
+            self.finish("end")
+
+
+# --------------------------------------------------------------------- #
+# Communication budgets (the hybrid enforcement mechanism)
+# --------------------------------------------------------------------- #
+
+
+def test_budget_suppresses_overspending_send():
+    g = path_graph(6, weight=10.0)
+    # Budget allows exactly 3 hops (cost 30); the 4th send is suppressed.
+    net = Network(g, lambda v: Chain(), comm_budget=30.0)
+    result = net.run()
+    assert net.budget_exhausted
+    assert result.comm_cost == 30.0
+    assert not net.all_finished
+
+
+def test_budget_never_exceeded_even_by_one_heavy_send():
+    g = WeightedGraph([(0, 1, 5.0), (1, 2, 1000.0)])
+
+    class Hop(Process):
+        def on_start(self):
+            if self.node_id == 0:
+                self.send(1, "x")
+
+        def on_message(self, frm, payload):
+            if self.node_id == 1:
+                self.send(2, payload)
+
+    net = Network(g, lambda v: Hop(), comm_budget=100.0)
+    result = net.run()
+    # The 1000-cost send is refused *before* transmission.
+    assert result.comm_cost == 5.0
+    assert net.budget_exhausted
+
+
+def test_budget_exactly_sufficient_run_completes():
+    g = path_graph(4, weight=2.0)
+    net = Network(g, lambda v: Chain(), comm_budget=6.0)
+    result = net.run()
+    assert not net.budget_exhausted
+    assert result.result_of(3) == "end"
+
+
+# --------------------------------------------------------------------- #
+# Trace hook
+# --------------------------------------------------------------------- #
+
+
+def test_trace_records_every_transmission():
+    events = []
+    g = path_graph(4, weight=3.0)
+    net = Network(
+        g, lambda v: Chain(),
+        trace=lambda t, u, v, tag, cost: events.append((t, u, v, tag, cost)),
+    )
+    net.run()
+    assert len(events) == 3
+    assert events[0] == (0.0, 0, 1, "msg", 3.0)
+    assert events[1][0] == 3.0 and events[1][1:3] == (1, 2)
+    times = [e[0] for e in events]
+    assert times == sorted(times)
+
+
+def test_trace_not_called_for_suppressed_sends():
+    events = []
+    g = path_graph(5, weight=10.0)
+    net = Network(
+        g, lambda v: Chain(), comm_budget=20.0,
+        trace=lambda *a: events.append(a),
+    )
+    net.run()
+    assert len(events) == 2  # the third hop was refused
+
+
+# --------------------------------------------------------------------- #
+# CostReport
+# --------------------------------------------------------------------- #
+
+
+def test_cost_report_ratios():
+    g = ring_graph(6, weight=2.0)
+    rep = report("demo", g, comm_cost=24.0, time=6.0, message_count=12)
+    assert rep.comm_ratio(12.0) == pytest.approx(2.0)
+    assert rep.time_ratio(3.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        rep.comm_ratio(0.0)
+    with pytest.raises(ValueError):
+        rep.time_ratio(-1.0)
+    assert "demo" in str(rep)
+
+
+def test_cost_report_reuses_params():
+    g = ring_graph(5)
+    p = network_params(g)
+    rep = report("x", g, 1.0, 1.0, 1, params=p)
+    assert rep.params is p
+    rep2 = report("y", g, 1.0, 1.0, 1)
+    assert rep2.params.n == p.n

@@ -1,0 +1,107 @@
+"""Tests for SPT_recur (Section 9.2): unit expansion + strip BFS."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    WeightedGraph,
+    diameter,
+    dijkstra,
+    path_graph,
+    random_connected_graph,
+    ring_graph,
+    tree_distances,
+)
+from repro.protocols.spt_recur import run_spt_recur, unit_expansion
+from repro.sim import ScaledDelay, UniformDelay
+
+
+# --------------------------------------------------------------------- #
+# Unit expansion
+# --------------------------------------------------------------------- #
+
+
+def test_unit_expansion_structure():
+    g = WeightedGraph([(0, 1, 3.0), (1, 2, 1.0)])
+    eg, info = unit_expansion(g)
+    # edge (0,1) -> 2 dummies, edge (1,2) stays direct
+    assert eg.num_vertices == 3 + 2
+    assert eg.num_edges == 3 + 1
+    assert all(w == 1.0 for _, _, w in eg.edges())
+    assert len(info) == 2
+
+
+def test_unit_expansion_preserves_distances():
+    g = random_connected_graph(12, 15, seed=1, max_weight=6)
+    eg, _ = unit_expansion(g)
+    d1, _ = dijkstra(g, 0)
+    d2, _ = dijkstra(eg, 0)
+    for v in g.vertices:
+        assert d2[v] == pytest.approx(d1[v])
+
+
+def test_unit_expansion_rejects_fractional():
+    with pytest.raises(ValueError):
+        unit_expansion(WeightedGraph([(0, 1, 1.5)]))
+
+
+# --------------------------------------------------------------------- #
+# Strip BFS end-to-end
+# --------------------------------------------------------------------- #
+
+
+def _check_spt(g, source=0, **kw):
+    result, tree = run_spt_recur(g, source, **kw)
+    assert tree.is_tree()
+    dist, _ = dijkstra(g, source)
+    assert tree_distances(tree, source) == pytest.approx(dist)
+    return result
+
+
+@pytest.mark.parametrize("maker", [
+    lambda: path_graph(8, weight=2.0),
+    lambda: ring_graph(9, weight=3.0),
+    lambda: random_connected_graph(15, 20, seed=2, max_weight=5),
+    lambda: random_connected_graph(20, 40, seed=3, max_weight=8),
+])
+def test_spt_recur_correct(maker):
+    _check_spt(maker())
+
+
+@pytest.mark.parametrize("stride", [1, 2, 5, 100])
+def test_spt_recur_stride_sweep(stride):
+    g = random_connected_graph(12, 18, seed=4, max_weight=6)
+    _check_spt(g, stride=stride)
+
+
+def test_spt_recur_under_random_delays():
+    for seed in range(3):
+        g = random_connected_graph(12, 16, seed=20 + seed, max_weight=5)
+        _check_spt(g, delay=UniformDelay(), seed=seed)
+
+
+def test_spt_recur_zero_delays():
+    g = random_connected_graph(10, 14, seed=5, max_weight=4)
+    _check_spt(g, delay=ScaledDelay(0.0))
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(3, 15), st.integers(0, 20), st.integers(0, 1000),
+       st.integers(1, 10))
+def test_spt_recur_property(n, extra, seed, stride):
+    g = random_connected_graph(n, extra, seed=seed, max_weight=5)
+    _check_spt(g, stride=stride)
+
+
+def test_spt_recur_stride_tradeoff_visible():
+    """Small stride -> many global syncs (more sync cost); large stride ->
+    fewer syncs but more intra-strip corrections.  Both correct; the sync
+    message count must decrease with the stride."""
+    g = random_connected_graph(25, 40, seed=6, max_weight=6)
+    res_small = _check_spt(g, stride=1)
+    res_large = _check_spt(g, stride=1000)
+    sync_small = res_small.metrics.count_by_tag["bfs-sync"]
+    sync_large = res_large.metrics.count_by_tag["bfs-sync"]
+    assert sync_large < sync_small

@@ -1,0 +1,143 @@
+"""Tests for DS termination detection and leader election."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    network_params,
+    path_graph,
+    random_connected_graph,
+    ring_graph,
+)
+from repro.protocols import (
+    run_flood,
+    run_leader_election,
+    run_with_termination_detection,
+)
+from repro.protocols.broadcast import FloodProcess
+from repro.sim import Process, UniformDelay
+
+
+# --------------------------------------------------------------------- #
+# Dijkstra-Scholten termination detection
+# --------------------------------------------------------------------- #
+
+
+def _flood_factory(initiator):
+    return lambda v: FloodProcess(v == initiator, payload="w")
+
+
+def test_ds_detects_flood_termination():
+    g = random_connected_graph(20, 30, seed=1)
+    result = run_with_termination_detection(g, _flood_factory(0), 0)
+    for v in g.vertices:
+        status, inner = result.result_of(v)
+        assert status == "terminated"
+    # Every node actually received the flood payload.
+    for v, proc in result.processes.items():
+        payload, _parent = proc.inner.ctx.result
+        assert payload == "w"
+
+
+def test_ds_ack_cost_mirrors_protocol_cost():
+    g = ring_graph(10, weight=3.0)
+    result = run_with_termination_detection(g, _flood_factory(0), 0)
+    m = result.metrics
+    proto = sum(c for t, c in m.cost_by_tag.items()
+                if t.startswith("ds-proto"))
+    acks = m.cost_by_tag["ds-ack"]
+    # One ack (same edge, same cost) per protocol message: exact doubling.
+    assert acks == pytest.approx(proto)
+
+
+def test_ds_under_random_delays():
+    g = random_connected_graph(15, 20, seed=2)
+    result = run_with_termination_detection(
+        g, _flood_factory(0), 0, delay=UniformDelay(), seed=7
+    )
+    assert all(r[0] == "terminated" for r in result.results().values())
+
+
+def test_ds_trivial_computation():
+    """An initiator that never sends: termination is detected immediately."""
+
+    class Silent(Process):
+        def on_start(self):
+            self.finish("did nothing")
+
+    g = path_graph(4)
+    result = run_with_termination_detection(g, lambda v: Silent(), 0)
+    assert result.result_of(0) == ("terminated", "did nothing")
+
+
+def test_ds_multi_wave_computation():
+    """A two-wave diffusing computation (flood + echo bounce) quiesces."""
+
+    class Bouncer(Process):
+        def __init__(self, start):
+            self.start = start
+            self.seen = False
+
+        def on_start(self):
+            if self.start:
+                self.seen = True
+                for v in self.neighbors():
+                    self.send(v, 2)
+
+        def on_message(self, frm, ttl):
+            if not self.seen and ttl > 0:
+                self.seen = True
+                for v in self.neighbors():
+                    if v != frm:
+                        self.send(v, ttl - 1)
+
+    g = random_connected_graph(12, 18, seed=3)
+    result = run_with_termination_detection(
+        g, lambda v: Bouncer(v == 0), 0
+    )
+    assert all(r[0] == "terminated" for r in result.results().values())
+
+
+# --------------------------------------------------------------------- #
+# Leader election
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("maker", [
+    lambda: path_graph(2, weight=4.0),
+    lambda: ring_graph(9, weight=2.0),
+    lambda: complete_graph(8),
+    lambda: random_connected_graph(20, 30, seed=4),
+])
+def test_leader_election_unanimous(maker):
+    g = maker()
+    result, leader = run_leader_election(g)
+    assert leader in g
+    for proc in result.processes.values():
+        assert proc.leader == leader
+
+
+def test_leader_election_deterministic():
+    g = random_connected_graph(15, 25, seed=5)
+    _, l1 = run_leader_election(g)
+    _, l2 = run_leader_election(g)
+    assert l1 == l2
+
+
+def test_leader_election_under_random_delays_agrees():
+    g = random_connected_graph(15, 25, seed=6)
+    for seed in range(3):
+        result, leader = run_leader_election(
+            g, delay=UniformDelay(), seed=seed
+        )
+        leaders = {p.leader for p in result.processes.values()}
+        assert leaders == {leader}
+
+
+def test_leader_election_cost_is_mst_cost():
+    g = random_connected_graph(25, 50, seed=7)
+    p = network_params(g)
+    import math
+
+    result, _ = run_leader_election(g)
+    assert result.comm_cost <= 6 * (p.E + p.V * math.log2(p.n))
