@@ -15,11 +15,22 @@ protocols  distributed algorithms (flood, DFS, MST/SPT suites, hybrids)
 core       the paper's contribution: measures, SLTs, global functions
 synch      clock synchronizers alpha*/beta*/gamma* and synchronizer gamma_w
 control    resource controllers (Section 5)
+faults     fault-injection adversaries, reliable transport, chaos harness
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import control, core, covers, experiments, graphs, protocols, sim, synch  # noqa: F401
+from . import (  # noqa: F401
+    control,
+    core,
+    covers,
+    experiments,
+    faults,
+    graphs,
+    protocols,
+    sim,
+    synch,
+)
 
 __all__ = [
     "graphs",
@@ -29,6 +40,7 @@ __all__ = [
     "core",
     "synch",
     "control",
+    "faults",
     "experiments",
     "__version__",
 ]

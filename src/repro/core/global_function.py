@@ -20,6 +20,8 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from ..faults.plan import FaultPlan
+from ..faults.transport import reliable_factory
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..sim.delays import DelayModel
 from ..sim.network import Network, RunResult
@@ -127,13 +129,18 @@ def compute_global_function(
     tree: Optional[WeightedGraph] = None,
     delay: Optional[DelayModel] = None,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    transport: Optional[dict] = None,
 ) -> tuple[RunResult, Any]:
     """Compute ``func`` over ``inputs`` with O(V) communication, O(D) time.
 
     Builds a shallow-light tree with parameter ``q`` (preprocessing, per the
     paper's known-topology assumption) unless an explicit ``tree`` is given,
     then runs the two-phase protocol.  Returns (run result, global value);
-    every node's local result equals the global value.
+    every node's local result equals the global value.  ``faults`` injects
+    an adversary; ``reliable=True`` makes the protocol survive it via the
+    retransmitting transport (options in ``transport``).
     """
     if set(inputs) != set(graph.vertices):
         raise ValueError("inputs must provide a value for every vertex")
@@ -142,12 +149,12 @@ def compute_global_function(
     if tree is None:
         tree = shallow_light_tree(graph, root, q).tree
     parent, children = rooted_tree_structure(tree, root)
-    net = Network(
-        tree,
-        lambda v: GlobalFunctionProcess(parent[v], children[v], inputs[v], func),
-        delay=delay,
-        seed=seed,
+    factory = lambda v: GlobalFunctionProcess(  # noqa: E731
+        parent[v], children[v], inputs[v], func
     )
+    if reliable:
+        factory = reliable_factory(factory, **(transport or {}))
+    net = Network(tree, factory, delay=delay, seed=seed, faults=faults)
     result = net.run()
     value = result.result_of(root)
     return result, value

@@ -48,6 +48,7 @@ def all_experiments() -> dict[str, tuple[str, Callable[[], list[Table]]]]:
     """The registry: key -> (description, runner)."""
     # Import the experiment modules for their registration side effects.
     from . import (  # noqa: F401
+        chaos,
         clock_sync,
         connectivity,
         controller,

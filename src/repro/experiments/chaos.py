@@ -1,0 +1,194 @@
+"""Experiment CH — the chaos matrix: every protocol under fault injection.
+
+Sweeps seeded message-loss rates across the protocol suite (flooding
+broadcast, tree convergecast, token DFS, GHS MST, SLT global function),
+with and without the cost-accounted reliable transport, and verifies the
+robustness contract:
+
+* with :class:`~repro.faults.transport.ReliableProcess`, every run
+  completes with the *same final answer* as the fault-free run, and the
+  retransmission overhead — measured in the paper's cost-sensitive units,
+  each retry on ``e`` costing another ``w(e)`` — stays a small multiple
+  of the fault-free communication cost;
+* without the transport, a faulted run either still completes correctly
+  (some protocols, e.g. flooding, are naturally redundant) or fails
+  *detectably* (stall / watchdog timeout / abort) — never silently wrong.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.global_function import SUM, GlobalFunctionProcess
+from ..core.slt import shallow_light_tree
+from ..faults import ChaosOutcome, FaultPlan, run_chaos
+from ..graphs import WeightedGraph, random_connected_graph
+from ..protocols.broadcast import FloodProcess
+from ..protocols.convergecast import ConvergecastProcess, rooted_tree_structure
+from ..protocols.dfs import DfsProcess
+from ..protocols.mst_ghs import GhsProcess
+from ..sim.network import RunResult
+from .base import Table, experiment
+
+__all__ = ["ChaosCase", "make_cases", "chaos_matrix", "run"]
+
+DROP_RATES = (0.0, 0.05, 0.2)
+
+
+@dataclass
+class ChaosCase:
+    """One protocol under test: how to build it and how to read its answer."""
+
+    name: str
+    graph: WeightedGraph
+    factory: Callable[[Any], Any]
+    answer: Callable[[RunResult], Any]
+
+
+def _flood_answer(result: RunResult) -> Any:
+    # The broadcast answer is "every node holds the payload" — parents may
+    # legitimately differ between delay schedules, so they are not part of it.
+    return sorted((repr(v), p.payload) for v, p in result.processes.items())
+
+
+def _dfs_answer(result: RunResult) -> Any:
+    # The token walk is serial and deterministic, so the DFS tree itself is
+    # part of the answer.
+    return sorted(
+        (repr(v), repr(p.parent)) for v, p in result.processes.items()
+    )
+
+
+def _mst_answer(result: RunResult) -> Any:
+    edges = set()
+    for v, p in result.processes.items():
+        for u in p._branch_edges():
+            edges.add(frozenset((repr(u), repr(v))))
+    return sorted(tuple(sorted(e)) for e in edges)
+
+
+def _global_answer(result: RunResult) -> Any:
+    return sorted(
+        (repr(v), p.ctx.result) for v, p in result.processes.items()
+    )
+
+
+def make_cases(n: int = 14, extra_edges: int = 20,
+               graph_seed: int = 2) -> list[ChaosCase]:
+    """The protocol suite on one benchmark graph (plus its SLT for the
+    tree-structured protocols)."""
+    g = random_connected_graph(n, extra_edges, seed=graph_seed)
+    root = g.vertices[0]
+    slt = shallow_light_tree(g, root, 2.0).tree
+    parent, children = rooted_tree_structure(slt, root)
+    inputs = {v: 1 for v in g.vertices}
+
+    def flood_factory(v):
+        return FloodProcess(v == root, "chaos-payload")
+
+    def converge_factory(v):
+        return ConvergecastProcess(parent[v], children[v], inputs[v],
+                                   lambda a, b: a + b)
+
+    def dfs_factory(v):
+        return DfsProcess(v == root)
+
+    def ghs_factory(v):
+        return GhsProcess(False, n_total=g.num_vertices)
+
+    def global_factory(v):
+        return GlobalFunctionProcess(parent[v], children[v], inputs[v], SUM)
+
+    return [
+        ChaosCase("broadcast", g, flood_factory, _flood_answer),
+        ChaosCase("convergecast", slt, converge_factory,
+                  lambda r: r.result_of(root)),
+        ChaosCase("dfs", g, dfs_factory, _dfs_answer),
+        ChaosCase("mst_ghs", g, ghs_factory, _mst_answer),
+        ChaosCase("global_fn(slt)", slt, global_factory, _global_answer),
+    ]
+
+
+def chaos_matrix(
+    cases: list[ChaosCase] | None = None,
+    *,
+    drop_rates: tuple = DROP_RATES,
+    fault_seed: int = 7,
+    include_raw: bool = True,
+) -> list[dict]:
+    """Run the full matrix; one result dict per (case, rate, transport).
+
+    Each dict carries the :class:`~repro.faults.runner.ChaosOutcome`, the
+    fault-free reference cost, and the overhead ratio the acceptance bound
+    is asserted against.
+    """
+    if cases is None:
+        cases = make_cases()
+    rows: list[dict] = []
+    for case in cases:
+        reference = run_chaos(case.graph, case.factory, plan=None,
+                              reliable=False, answer=case.answer)
+        if reference.status != "ok":  # pragma: no cover - suite invariant
+            raise RuntimeError(
+                f"fault-free reference run failed for {case.name}: "
+                f"{reference.status}"
+            )
+        ff_cost = reference.result.comm_cost
+        # Success ends by quiescence; the watchdog only has to be generous
+        # enough that backoff-stretched runs are not misclassified.
+        watchdog = 500.0 * max(reference.result.time, 1.0) + 1000.0
+        for rate in drop_rates:
+            plan = (FaultPlan.message_loss(rate, seed=fault_seed)
+                    if rate > 0 else None)
+            modes = [True] + ([False] if include_raw and rate > 0 else [])
+            for reliable in modes:
+                outcome = run_chaos(
+                    case.graph, case.factory, plan=plan, reliable=reliable,
+                    watchdog_time=watchdog, answer=case.answer,
+                    expect=reference.answer,
+                )
+                rows.append({
+                    "protocol": case.name,
+                    "drop": rate,
+                    "reliable": reliable,
+                    "outcome": outcome,
+                    "ff_cost": ff_cost,
+                    "overhead_ratio": (
+                        outcome.retry_cost / ff_cost if ff_cost else 0.0
+                    ),
+                })
+    return rows
+
+
+def _status_label(outcome: ChaosOutcome) -> str:
+    return outcome.status
+
+
+@experiment("chaos", "Chaos matrix: protocols x loss rates, reliability cost")
+def run() -> list[Table]:
+    rows = []
+    for entry in chaos_matrix():
+        outcome = entry["outcome"]
+        comm = outcome.result.comm_cost if outcome.result else float("nan")
+        rows.append([
+            entry["protocol"],
+            entry["drop"],
+            "reliable" if entry["reliable"] else "raw",
+            _status_label(outcome),
+            comm,
+            outcome.retry_count,
+            outcome.retry_cost,
+            outcome.ack_cost,
+            entry["overhead_ratio"],
+        ])
+    return [Table(
+        title="Chaos matrix: seeded message loss across the protocol suite",
+        header=["protocol", "drop", "transport", "status", "comm",
+                "retries", "retry_cost", "ack_cost", "retry/ff"],
+        rows=rows,
+        notes="reliable runs must be 'ok' with the fault-free answer; raw "
+              "runs under loss must never be silently wrong (retry costs "
+              "in cost-sensitive units: each retry on e costs w(e))",
+    )]

@@ -1,0 +1,38 @@
+"""Fault injection, reliable transport, and the chaos harness.
+
+The robustness layer on top of the simulator:
+
+* :class:`FaultPlan` — a deterministic, seeded adversary that drops,
+  duplicates, corrupts, or reorders transmissions (within a bound) and
+  crashes/recovers nodes on a schedule;
+* :class:`ReliableProcess` / :func:`reliable_factory` — a per-edge
+  ack + timeout + retransmit transport that wraps any protocol process
+  unchanged, with its overhead measured in the paper's cost-sensitive
+  units under dedicated metric tags;
+* :func:`run_chaos` — runs a protocol under an adversary with watchdogs
+  and classifies the outcome so failures are always *detectable*.
+"""
+
+from .plan import CorruptedPayload, CrashWindow, FaultPlan
+from .runner import DETECTABLE_FAILURES, ChaosOutcome, run_chaos
+from .transport import (
+    ACK_TAG,
+    RETRY_TAG,
+    ReliableProcess,
+    reliability_overhead,
+    reliable_factory,
+)
+
+__all__ = [
+    "FaultPlan",
+    "CrashWindow",
+    "CorruptedPayload",
+    "ReliableProcess",
+    "reliable_factory",
+    "reliability_overhead",
+    "ACK_TAG",
+    "RETRY_TAG",
+    "run_chaos",
+    "ChaosOutcome",
+    "DETECTABLE_FAILURES",
+]

@@ -1,0 +1,121 @@
+"""The chaos harness: run protocols under a fault adversary, detectably.
+
+:func:`run_chaos` executes one protocol on one graph under a
+:class:`~repro.faults.plan.FaultPlan`, optionally behind the
+:class:`~repro.faults.transport.ReliableProcess` transport, with two
+watchdogs (a simulated-time deadline and an event-count backstop), and
+classifies the outcome:
+
+* ``"ok"``        — every node finished (and, if the caller supplied an
+  ``expect`` value, the extracted answer matched it);
+* ``"wrong"``     — completed but the answer differs from ``expect``;
+* ``"stalled"``   — the event queue drained with unfinished nodes (e.g. a
+  message was dropped and nobody retransmits);
+* ``"timeout"``   — the watchdog deadline fired with events still pending;
+* ``"aborted"``   — the communication budget was exhausted;
+* ``"error"``     — a process raised (e.g. a raw protocol indexing into a
+  corrupted frame).
+
+The contract the chaos matrix asserts is that a run is **never silently
+wrong and never hangs**: with the reliable transport it must be ``"ok"``;
+without it, under faults, anything except ``"ok"``/``"wrong"`` is an
+acceptable *detectable* failure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..graphs.weighted_graph import Vertex, WeightedGraph
+from ..sim.delays import DelayModel
+from ..sim.network import Network, RunResult
+from ..sim.process import Process
+from .plan import FaultPlan
+from .transport import reliability_overhead, reliable_factory
+
+__all__ = ["ChaosOutcome", "run_chaos", "DETECTABLE_FAILURES"]
+
+# Everything a faulted run may legitimately report except success —
+# each of these is *detectable* by a caller holding the outcome.
+DETECTABLE_FAILURES = frozenset({"stalled", "timeout", "aborted", "error"})
+
+
+@dataclass
+class ChaosOutcome:
+    """Result of one chaos run."""
+
+    status: str
+    result: Optional[RunResult]
+    answer: Any = None
+    error: Optional[str] = None
+    ack_cost: float = 0.0
+    retry_cost: float = 0.0
+    retry_count: int = 0
+    total_overhead: float = 0.0
+
+    @property
+    def detectable_failure(self) -> bool:
+        return self.status in DETECTABLE_FAILURES
+
+    @property
+    def silent_failure(self) -> bool:
+        """True only for the outcome the chaos contract forbids."""
+        return self.status == "wrong"
+
+
+def run_chaos(
+    graph: WeightedGraph,
+    factory: Callable[[Vertex], Process],
+    *,
+    plan: Optional[FaultPlan] = None,
+    reliable: bool = True,
+    transport: Optional[dict] = None,
+    watchdog_time: float = float("inf"),
+    max_events: int = 2_000_000,
+    delay: Optional[DelayModel] = None,
+    seed: int = 0,
+    serialize: bool = False,
+    answer: Optional[Callable[[RunResult], Any]] = None,
+    expect: Any = None,
+) -> ChaosOutcome:
+    """Run ``factory``'s protocol on ``graph`` under ``plan``.
+
+    ``answer(result)`` extracts the protocol's final answer; when
+    ``expect`` is given the extracted answer is compared against it and a
+    mismatch is classified ``"wrong"`` (the outcome the chaos contract
+    exists to rule out).  ``watchdog_time`` bounds simulated time; the
+    ``max_events`` backstop catches event storms and reports them as
+    ``"timeout"`` rather than raising.
+    """
+    if reliable:
+        factory = reliable_factory(factory, **(transport or {}))
+    net = Network(graph, factory, delay=delay, seed=seed,
+                  serialize=serialize, faults=plan)
+    try:
+        # Run to quiescence (no stop_when): trailing acks/retransmissions
+        # count toward the measured reliability overhead, and a stall is
+        # distinguishable from success by the unfinished nodes.
+        result = net.run(max_time=watchdog_time, max_events=max_events)
+    except RuntimeError as exc:  # max_events backstop: a detected hang
+        return ChaosOutcome(status="timeout", result=None, error=str(exc),
+                            **reliability_overhead(net.metrics))
+    except Exception as exc:  # a process crashed on adversarial input
+        return ChaosOutcome(status="error", result=None,
+                            error=f"{type(exc).__name__}: {exc}",
+                            **reliability_overhead(net.metrics))
+
+    overhead = reliability_overhead(result.metrics)
+    if result.status == "max_time":
+        return ChaosOutcome(status="timeout", result=result, **overhead)
+    if result.status == "budget_exhausted":
+        return ChaosOutcome(status="aborted", result=result, **overhead)
+    if not net.all_finished:
+        return ChaosOutcome(status="stalled", result=result, **overhead)
+
+    value = answer(result) if answer is not None else None
+    if answer is not None and expect is not None and value != expect:
+        return ChaosOutcome(status="wrong", result=result, answer=value,
+                            **overhead)
+    return ChaosOutcome(status="ok", result=result, answer=value, **overhead)

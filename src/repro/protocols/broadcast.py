@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..faults.plan import FaultPlan
+from ..faults.transport import reliable_factory
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..sim.delays import DelayModel
 from ..sim.network import Network, RunResult
@@ -62,18 +64,21 @@ def run_flood(
     *,
     delay: Optional[DelayModel] = None,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    transport: Optional[dict] = None,
 ) -> tuple[RunResult, WeightedGraph]:
     """Flood ``payload`` from ``initiator``; return (run result, flood tree).
 
     The flood tree is the spanning tree formed by each node's parent
-    pointer (rooted at the initiator).
+    pointer (rooted at the initiator).  Under a ``faults`` adversary,
+    ``reliable=True`` wraps every node in the retransmitting transport
+    (``transport`` passes options through to ``ReliableProcess``).
     """
-    net = Network(
-        graph,
-        lambda v: FloodProcess(v == initiator, payload),
-        delay=delay,
-        seed=seed,
-    )
+    factory = lambda v: FloodProcess(v == initiator, payload)  # noqa: E731
+    if reliable:
+        factory = reliable_factory(factory, **(transport or {}))
+    net = Network(graph, factory, delay=delay, seed=seed, faults=faults)
     result = net.run()
     tree = WeightedGraph(vertices=graph.vertices)
     for v, proc in result.processes.items():

@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import Any, Optional
 
+from ..faults.plan import FaultPlan
+from ..faults.transport import reliable_factory
 from ..graphs.paths import tree_distances
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..sim.delays import DelayModel
@@ -121,15 +123,16 @@ def run_tree_broadcast(
     *,
     delay: Optional[DelayModel] = None,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    transport: Optional[dict] = None,
 ) -> RunResult:
     """Broadcast ``value`` down ``tree`` from ``root``; cost w(T), time depth(T)."""
     _, children = rooted_tree_structure(tree, root)
-    net = Network(
-        tree,
-        lambda v: BroadcastProcess(children[v], v == root, value),
-        delay=delay,
-        seed=seed,
-    )
+    factory = lambda v: BroadcastProcess(children[v], v == root, value)  # noqa: E731
+    if reliable:
+        factory = reliable_factory(factory, **(transport or {}))
+    net = Network(tree, factory, delay=delay, seed=seed, faults=faults)
     return net.run()
 
 
@@ -141,15 +144,18 @@ def run_convergecast(
     *,
     delay: Optional[DelayModel] = None,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    transport: Optional[dict] = None,
 ) -> tuple[RunResult, Any]:
     """Aggregate ``values`` up ``tree``; returns (run result, root aggregate)."""
     parent, children = rooted_tree_structure(tree, root)
-    net = Network(
-        tree,
-        lambda v: ConvergecastProcess(parent[v], children[v], values[v], combine),
-        delay=delay,
-        seed=seed,
+    factory = lambda v: ConvergecastProcess(  # noqa: E731
+        parent[v], children[v], values[v], combine
     )
+    if reliable:
+        factory = reliable_factory(factory, **(transport or {}))
+    net = Network(tree, factory, delay=delay, seed=seed, faults=faults)
     result = net.run()
     return result, result.result_of(root)
 

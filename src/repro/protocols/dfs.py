@@ -26,6 +26,8 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import Any, Optional
 
+from ..faults.plan import FaultPlan
+from ..faults.transport import reliable_factory
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..sim.delays import DelayModel
 from ..sim.network import Network, RunResult
@@ -179,19 +181,28 @@ def run_dfs(
     delay: Optional[DelayModel] = None,
     seed: int = 0,
     budget: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    transport: Optional[dict] = None,
 ) -> tuple[RunResult, Optional[WeightedGraph]]:
     """Run token DFS from ``root``; returns (run result, DFS spanning tree).
 
     With a ``budget``, the run is aborted once the communication cost
     reaches it and the tree is returned as ``None`` (the hybrid racers of
     Section 7.2 use this to dovetail algorithms with doubling budgets).
+    The same ``None``-tree contract covers a run stalled by a ``faults``
+    adversary; ``reliable=True`` adds the retransmitting transport.
     """
+    factory = lambda v: DfsProcess(v == root, governor)  # noqa: E731
+    if reliable:
+        factory = reliable_factory(factory, **(transport or {}))
     net = Network(
         graph,
-        lambda v: DfsProcess(v == root, governor),
+        factory,
         delay=delay,
         seed=seed,
         comm_budget=budget,
+        faults=faults,
     )
     result = net.run()
     if not result.processes[root].ctx.is_finished:

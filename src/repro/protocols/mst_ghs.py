@@ -27,6 +27,8 @@ from __future__ import annotations
 import math
 from typing import Any, Optional
 
+from ..faults.plan import FaultPlan
+from ..faults.transport import reliable_factory
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..sim.delays import DelayModel
 from ..sim.network import Network, RunResult
@@ -454,21 +456,31 @@ def _collect_tree(graph: WeightedGraph, result: RunResult) -> WeightedGraph:
 
 def _run(graph: WeightedGraph, parallel_scan: bool, delay, seed: int,
          max_events: int,
-         budget: Optional[float] = None) -> tuple[RunResult, Optional[WeightedGraph]]:
+         budget: Optional[float] = None,
+         faults: Optional[FaultPlan] = None,
+         reliable: bool = False,
+         transport: Optional[dict] = None,
+         ) -> tuple[RunResult, Optional[WeightedGraph]]:
     if graph.num_vertices < 2:
         raise ValueError("GHS needs at least two vertices")
     n = graph.num_vertices
+    factory = lambda v: GhsProcess(parallel_scan, n_total=n)  # noqa: E731
+    if reliable:
+        factory = reliable_factory(factory, **(transport or {}))
     net = Network(
         graph,
-        lambda v: GhsProcess(parallel_scan, n_total=n),
+        factory,
         delay=delay,
         seed=seed,
         comm_budget=budget,
+        faults=faults,
     )
     result = net.run(stop_when=lambda nw: nw.all_finished,
                      max_events=max_events)
     if not net.all_finished:
-        if budget is not None:
+        if budget is not None or faults is not None:
+            # Detectable abort: budget enforcement, or a fault adversary
+            # the protocol could not survive (RunResult.status says which).
             return result, None
         raise RuntimeError("GHS did not terminate")
     return result, _collect_tree(graph, result)
@@ -481,9 +493,13 @@ def run_mst_ghs(
     seed: int = 0,
     max_events: int = 20_000_000,
     budget: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    transport: Optional[dict] = None,
 ) -> tuple[RunResult, Optional[WeightedGraph]]:
     """Algorithm MST_ghs: classical GHS (serial edge scan)."""
-    return _run(graph, False, delay, seed, max_events, budget)
+    return _run(graph, False, delay, seed, max_events, budget,
+                faults, reliable, transport)
 
 
 def run_mst_fast(
@@ -493,6 +509,10 @@ def run_mst_fast(
     seed: int = 0,
     max_events: int = 20_000_000,
     budget: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    transport: Optional[dict] = None,
 ) -> tuple[RunResult, Optional[WeightedGraph]]:
     """Algorithm MST_fast: guess-doubling threshold + parallel edge scan."""
-    return _run(graph, True, delay, seed, max_events, budget)
+    return _run(graph, True, delay, seed, max_events, budget,
+                faults, reliable, transport)

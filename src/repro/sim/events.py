@@ -34,6 +34,10 @@ class EventQueue:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
         heapq.heappush(self._heap, (when, next(self._seq), callback))
 
+    def peek_time(self) -> float | None:
+        """Timestamp of the earliest pending event, or None if empty."""
+        return self._heap[0][0] if self._heap else None
+
     def __len__(self) -> int:
         return len(self._heap)
 

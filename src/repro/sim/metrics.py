@@ -26,6 +26,9 @@ class Metrics:
     last_finish_time: float = 0.0  # time the last process called finish()
     cost_by_tag: dict = field(default_factory=lambda: defaultdict(float))
     count_by_tag: dict = field(default_factory=lambda: defaultdict(int))
+    # Adversarial events injected by a FaultPlan (drops, duplicates,
+    # corruptions, reorders, crashes, deliveries lost to a down node).
+    fault_counts: dict = field(default_factory=lambda: defaultdict(int))
 
     def record_message(self, weight: float, size: float, tag: str) -> None:
         cost = weight * size
@@ -33,6 +36,16 @@ class Metrics:
         self.comm_cost += cost
         self.cost_by_tag[tag] += cost
         self.count_by_tag[tag] += 1
+
+    def record_fault(self, kind: str) -> None:
+        self.fault_counts[kind] += 1
+
+    def tagged_cost(self, *prefixes: str) -> float:
+        """Total cost over tags starting with any of the given prefixes."""
+        return sum(
+            c for t, c in self.cost_by_tag.items()
+            if any(t.startswith(p) for p in prefixes)
+        )
 
     def summary(self) -> str:
         parts = [
@@ -44,4 +57,6 @@ class Metrics:
             parts.append(
                 f"{tag}: n={self.count_by_tag[tag]} cost={self.cost_by_tag[tag]:g}"
             )
+        for kind in sorted(self.fault_counts):
+            parts.append(f"fault[{kind}]={self.fault_counts[kind]}")
         return "  ".join(parts)

@@ -9,6 +9,12 @@ which is the regime where the congestion effects discussed in Section 3
 become visible; the default is the classical model (unbounded pipelining,
 every message independently delayed).
 
+An optional *fault adversary* (``repro.faults.FaultPlan``, duck-typed here
+to avoid an import cycle) may intercept every transmission — dropping,
+duplicating, corrupting, or reordering it within a bound — and crash /
+recover nodes on a schedule.  All adversarial choices are driven by a
+dedicated RNG seeded from the plan, so runs remain fully deterministic.
+
 The simulator is single-threaded and deterministic for a fixed seed.
 """
 
@@ -50,7 +56,7 @@ class _NodeContext:
         self._network._transmit(self.node_id, to, payload, size, tag)
 
     def set_timer(self, delay: float, callback: Callable[[], None]) -> None:
-        self._network.queue.schedule(delay, callback)
+        self._network._set_node_timer(self.node_id, delay, callback)
 
     def finish(self, result: Any) -> None:
         if not self.is_finished:
@@ -60,11 +66,30 @@ class _NodeContext:
 
 
 class RunResult:
-    """Outcome of a simulation run: metrics plus per-node results."""
+    """Outcome of a simulation run: metrics, per-node results, and status.
 
-    def __init__(self, metrics: Metrics, processes: dict) -> None:
+    ``status`` says *why* the run stopped:
+
+    * ``"quiescent"`` — the event queue drained (normal completion);
+    * ``"stopped"`` — the caller's ``stop_when`` predicate fired;
+    * ``"max_time"`` — the watchdog deadline was reached with events still
+      pending (no event beyond the deadline is executed);
+    * ``"budget_exhausted"`` — a send was suppressed by the communication
+      budget and the run aborted.
+
+    ``aborted`` is True for the last two — the run did *not* end of its
+    own accord, and per-node results may be partial.
+    """
+
+    def __init__(self, metrics: Metrics, processes: dict,
+                 status: str = "quiescent") -> None:
         self.metrics = metrics
         self.processes = processes
+        self.status = status
+
+    @property
+    def aborted(self) -> bool:
+        return self.status in ("max_time", "budget_exhausted")
 
     @property
     def comm_cost(self) -> float:
@@ -110,6 +135,10 @@ class Network:
         If True, each directed channel transmits one message at a time.
     default_tag:
         Metrics tag for untagged sends.
+    faults:
+        Optional fault adversary (``repro.faults.FaultPlan``; any object
+        with the same ``seed`` / ``crashes`` / ``fate`` surface works).
+        Decides the fate of every transmission and supplies crash windows.
     """
 
     def __init__(
@@ -123,6 +152,7 @@ class Network:
         default_tag: str = "msg",
         comm_budget: Optional[float] = None,
         trace: Optional[Callable[[float, Vertex, Vertex, str, float], None]] = None,
+        faults: Optional[Any] = None,
     ) -> None:
         self.graph = graph
         self.queue = EventQueue()
@@ -140,6 +170,16 @@ class Network:
         # Optional observer: called as trace(time, frm, to, tag, cost) for
         # every accepted transmission (debugging / timeline visualisation).
         self.trace = trace
+        # Fault adversary.  Its randomness comes from a *separate* RNG so
+        # that adding faults never perturbs the delay-model stream, and
+        # identical (graph, protocol, plan, seed) runs replay exactly.
+        self.faults = faults
+        self.fault_rng = (
+            random.Random(getattr(faults, "seed", 0))
+            if faults is not None else None
+        )
+        self._down: set[Vertex] = set()
+        self._deferred_timers: dict[Vertex, list[Callable[[], None]]] = {}
         self._finished_count = 0
         self._channel_clear: dict[tuple[Vertex, Vertex], float] = {}
         self.processes: dict[Vertex, Process] = {}
@@ -155,6 +195,8 @@ class Network:
     def _transmit(
         self, frm: Vertex, to: Vertex, payload: Any, size: float, tag: Optional[str]
     ) -> None:
+        if frm in self._down:
+            return  # a crashed node cannot transmit
         weight = self.graph.weight(frm, to)
         if self.comm_budget is not None and (
             self.metrics.comm_cost + weight * size > self.comm_budget
@@ -175,12 +217,65 @@ class Network:
             # FIFO per directed channel even with pipelining: a message may
             # not overtake an earlier one on the same channel.
             arrive = max(now + delay, self._channel_clear.get(channel, 0.0))
+        # The channel timing of a transmission is independent of its fate:
+        # a dropped message still occupied the channel (it was transmitted,
+        # then lost) and still cost w(e) * size above — the sender pays per
+        # transmission, which is what makes retransmission overhead a
+        # meaningful cost-sensitive quantity.
         self._channel_clear[channel] = arrive
-        self.queue.schedule_at(arrive, lambda: self._deliver(frm, to, payload))
+        if self.faults is None:
+            self.queue.schedule_at(arrive,
+                                   lambda: self._deliver(frm, to, payload))
+            return
+        fate, deliveries = self.faults.fate(frm, to, weight, payload,
+                                            self.fault_rng)
+        if fate != "deliver":
+            self.metrics.record_fault(fate)
+        for extra, out_payload in deliveries:
+            # Extra adversarial delay (duplicates, reorders) bypasses the
+            # FIFO clamp on purpose: later messages may overtake.
+            self.queue.schedule_at(
+                arrive + extra,
+                lambda p=out_payload: self._deliver(frm, to, p),
+            )
 
     def _deliver(self, frm: Vertex, to: Vertex, payload: Any) -> None:
+        if to in self._down:
+            # In-flight messages addressed to a crashed node are lost.
+            self.metrics.record_fault("lost_in_crash")
+            return
         self.metrics.completion_time = self.queue.now
         self.processes[to].on_message(frm, payload)
+
+    def _set_node_timer(self, node: Vertex, delay: float,
+                        callback: Callable[[], None]) -> None:
+        self.queue.schedule(delay, lambda: self._timer_fire(node, callback))
+
+    def _timer_fire(self, node: Vertex, callback: Callable[[], None]) -> None:
+        if node in self._down:
+            # Defer, don't drop: local clocks survive a crash, so timers
+            # that expired during the outage fire at recovery time (this is
+            # what keeps retransmission loops alive across crashes).
+            self._deferred_timers.setdefault(node, []).append(callback)
+        else:
+            callback()
+
+    def _crash(self, node: Vertex) -> None:
+        if node not in self._down:
+            self._down.add(node)
+            self.metrics.record_fault("crash")
+
+    def _recover(self, node: Vertex) -> None:
+        if node not in self._down:
+            return
+        self._down.discard(node)
+        self.metrics.record_fault("recover")
+        for cb in self._deferred_timers.pop(node, []):
+            self.queue.schedule(0.0, cb)
+        self.processes[node].on_recover()
+
+    def node_is_up(self, node: Vertex) -> bool:
+        return node not in self._down
 
     def _node_finished(self, node: Vertex) -> None:
         self._finished_count += 1
@@ -205,24 +300,41 @@ class Network:
         """Start every process and run events until quiescence or a stop.
 
         Stops when the event queue is empty, ``stop_when(self)`` becomes
-        true, the clock passes ``max_time``, or ``max_events`` events have
-        fired (a runaway-protocol backstop that raises ``RuntimeError``).
+        true, the next event lies beyond ``max_time`` (events exactly *at*
+        the deadline still run; none past it does), or ``max_events``
+        events have fired (a runaway-protocol backstop that raises
+        ``RuntimeError``).  The reason is reported as ``RunResult.status``.
         """
+        if self.faults is not None:
+            reset = getattr(self.faults, "reset", None)
+            if reset is not None:
+                reset()  # clear per-run bookkeeping so plans replay exactly
+            for node, start, end in getattr(self.faults, "crashes", ()):
+                if node not in self.processes:
+                    raise ValueError(f"crash window for unknown node {node!r}")
+                self.queue.schedule_at(start, lambda n=node: self._crash(n))
+                if end is not None and end != float("inf"):
+                    self.queue.schedule_at(end, lambda n=node: self._recover(n))
         for proc in self.processes.values():
             proc.on_start()
         events = 0
+        status = "quiescent"
         while self.queue:
             if self.budget_exhausted:
                 break
             if stop_when is not None and stop_when(self):
+                status = "stopped"
                 break
-            if self.queue.now > max_time:
+            if self.queue.peek_time() > max_time:
+                status = "max_time"
                 break
             if not self.queue.step():
                 break
             events += 1
             if events >= max_events:
                 raise RuntimeError(f"exceeded {max_events} events; runaway protocol?")
+        if self.budget_exhausted:
+            status = "budget_exhausted"
         # Note: quiescing without meeting stop_when is not an error at this
         # level; callers (runners) decide how to interpret an unfinished run.
-        return RunResult(self.metrics, self.processes)
+        return RunResult(self.metrics, self.processes, status=status)

@@ -38,6 +38,15 @@ class Process:
     def on_message(self, frm: Vertex, payload: Any) -> None:
         """Called on every message arrival."""
 
+    def on_recover(self) -> None:
+        """Called when this node comes back up after a crash window.
+
+        The process keeps its state across the outage (crash-recover with
+        durable memory); messages and timer firings that targeted the node
+        while it was down are lost or deferred by the network — see
+        ``docs/MODEL.md`` ("Fault model").  Default: no-op.
+        """
+
     # ------------------------------------------------------------------ #
     # Helpers available to subclasses
     # ------------------------------------------------------------------ #

@@ -25,6 +25,8 @@ from collections import defaultdict
 from collections.abc import Callable
 from typing import Any, Optional
 
+from ..faults.plan import FaultPlan
+from ..faults.transport import reliable_factory
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..sim.delays import DelayModel
 from ..sim.network import Network
@@ -176,11 +178,18 @@ class SimpleSyncResult:
         return self.time / max(1, self.pulses)
 
 
-def _run_host(graph, factory, max_pulse, delay, seed, control_tag):
+def _run_host(graph, factory, max_pulse, delay, seed, control_tag,
+              faults=None, reliable=False, transport=None):
     normalized = normalize_graph(graph)
-    net = Network(normalized, factory, delay=delay, seed=seed)
+    if reliable:
+        factory = reliable_factory(factory, **(transport or {}))
+    net = Network(normalized, factory, delay=delay, seed=seed, faults=faults)
     result = net.run(stop_when=lambda n: n.all_finished)
     if not net.all_finished:
+        if faults is not None:
+            # Under an adversary a stall is a legitimate, detectable
+            # outcome; hand the partial result back instead of raising.
+            return SimpleSyncResult(result, max_pulse, control_tag)
         raise RuntimeError("synchronizer stalled (max_pulse too small?)")
     return SimpleSyncResult(result, max_pulse, control_tag)
 
@@ -192,12 +201,16 @@ def run_alpha_w(
     max_pulse: int,
     delay: Optional[DelayModel] = None,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    transport: Optional[dict] = None,
 ) -> SimpleSyncResult:
     """Run a synchronous protocol under synchronizer alpha_w."""
     return _run_host(
         graph,
         lambda v: AlphaWHost(v, graph, inner_factory, max_pulse),
         max_pulse, delay, seed, "sync-alpha",
+        faults, reliable, transport,
     )
 
 
@@ -210,6 +223,9 @@ def run_beta_w(
     root: Optional[Vertex] = None,
     delay: Optional[DelayModel] = None,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    transport: Optional[dict] = None,
 ) -> SimpleSyncResult:
     """Run a synchronous protocol under synchronizer beta_w.
 
@@ -229,4 +245,5 @@ def run_beta_w(
         lambda v: BetaWHost(v, graph, inner_factory, max_pulse,
                             parent[v], children[v]),
         max_pulse, delay, seed, "sync-beta",
+        faults, reliable, transport,
     )

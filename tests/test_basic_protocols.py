@@ -4,7 +4,6 @@ import pytest
 
 from repro.graphs import (
     WeightedGraph,
-    diameter,
     mst_weight,
     network_params,
     path_graph,

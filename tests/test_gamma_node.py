@@ -7,13 +7,9 @@ broadcast, preferred-edge exchange, GO issuance) without a simulator.
 
 import pytest
 
-from repro.graphs import path_graph, ring_graph, WeightedGraph
+from repro.graphs import path_graph, ring_graph
 from repro.synch import build_partition
 from repro.synch.gamma import (
-    CLUSTER_SAFE,
-    GO,
-    NBR_SAFE,
-    SUBTREE_SAFE,
     GammaNode,
 )
 

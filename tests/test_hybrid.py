@@ -10,7 +10,6 @@ from repro.graphs import (
     network_params,
     dijkstra,
     random_connected_graph,
-    ring_graph,
     tree_distances,
 )
 from repro.protocols.hybrid import (

@@ -1,7 +1,5 @@
 """Tests for the knowledge-flow auditor (Lemmas 7.1/7.2 observability)."""
 
-import pytest
-
 from repro.core import (
     extract_ids,
     id_crossings,

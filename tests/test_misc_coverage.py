@@ -7,8 +7,6 @@ from repro.covers import build_tree_edge_cover
 from repro.graphs import (
     WeightedGraph,
     mst_weight,
-    path_graph,
-    prim_mst,
     random_connected_graph,
     ring_graph,
     shortest_path_tree,

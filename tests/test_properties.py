@@ -6,7 +6,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.covers import coarsen_cover, is_cover, max_cover_degree, subsumes
+from repro.covers import coarsen_cover, max_cover_degree, subsumes
 from repro.graphs import (
     WeightedGraph,
     dijkstra,

@@ -1,10 +1,11 @@
-"""Tests for simulator extras: budgets, tracing, and CostReport measures."""
+"""Tests for simulator extras: budgets, tracing, delay adversaries under
+serialization, and CostReport measures."""
 
 import pytest
 
-from repro.core.measures import CostReport, report
+from repro.core.measures import report
 from repro.graphs import WeightedGraph, network_params, path_graph, ring_graph
-from repro.sim import Network, Process
+from repro.sim import Network, PerEdgeDelay, Process
 
 
 class Chain(Process):
@@ -93,6 +94,108 @@ def test_trace_not_called_for_suppressed_sends():
     )
     net.run()
     assert len(events) == 2  # the third hop was refused
+
+
+# --------------------------------------------------------------------- #
+# Adversarial delays (PerEdgeDelay) and serialized channels
+# --------------------------------------------------------------------- #
+
+
+class Burst(Process):
+    """Node 0 sends two back-to-back messages to node 1, which logs
+    (arrival time, payload)."""
+
+    def __init__(self):
+        self.log = []
+
+    def on_start(self):
+        if self.node_id == 0:
+            self.send(1, "a")
+            self.send(1, "b")
+
+    def on_message(self, frm, payload):
+        self.log.append((self.now, payload))
+
+
+def _burst_log(**net_kwargs):
+    g = WeightedGraph([(0, 1, 4.0)])
+    net = Network(g, lambda v: Burst(), **net_kwargs)
+    net.run()
+    return net.processes[1].log
+
+
+def test_per_edge_delay_fifo_clamp_when_pipelined():
+    # Adversary: first transmission takes the full w(e)=4, second takes 1.
+    # Pipelined channels are still FIFO per directed edge, so the fast
+    # second message is clamped to the first's arrival — no overtaking.
+    delays = iter([4.0, 1.0])
+    log = _burst_log(delay=PerEdgeDelay(lambda u, v, w: next(delays)))
+    assert log == [(4.0, "a"), (4.0, "b")]
+
+
+def test_per_edge_delay_serialized_store_and_forward():
+    # Same adversary, serialize=True: the channel transmits one message at
+    # a time, so the second transmission *starts* only when the first is
+    # done (t=4) and arrives a further 1 later.
+    delays = iter([4.0, 1.0])
+    log = _burst_log(delay=PerEdgeDelay(lambda u, v, w: next(delays)),
+                     serialize=True)
+    assert log == [(4.0, "a"), (5.0, "b")]
+
+
+def test_serialized_channel_occupancy_accumulates():
+    # Zero-ish adversary under serialization: each transmission still
+    # occupies the channel for its own delay, sequentially.
+    delays = iter([1.0, 1.0])
+    log = _burst_log(delay=PerEdgeDelay(lambda u, v, w: next(delays)),
+                     serialize=True)
+    assert log == [(1.0, "a"), (2.0, "b")]
+
+
+def test_per_edge_delay_schedule_keyed_by_edge_and_count():
+    # The documented use: a stateful schedule keyed by (edge, transmission
+    # index) realizing a specific adversary along a path.
+    counts = {}
+
+    def schedule(u, v, w):
+        k = counts[(u, v)] = counts.get((u, v), 0) + 1
+        return w / k
+
+    g = path_graph(3, weight=2.0)
+    net = Network(g, lambda v: Chain(),
+                  delay=PerEdgeDelay(schedule), serialize=True)
+    result = net.run()
+    # One transmission per edge, each at full weight on first use.
+    assert result.time == 4.0
+    assert counts == {(0, 1): 1, (1, 2): 1}
+
+
+def test_per_edge_delay_rejects_out_of_range():
+    g = WeightedGraph([(0, 1, 4.0)])
+    net = Network(g, lambda v: Burst(),
+                  delay=PerEdgeDelay(lambda u, v, w: w + 1.0))
+    with pytest.raises(ValueError):
+        net.run()
+
+
+def test_serialized_channels_are_directional():
+    # Opposite directions of an edge are distinct channels: simultaneous
+    # sends both ways do not serialize against each other.
+    class Pair(Process):
+        def __init__(self):
+            self.log = []
+
+        def on_start(self):
+            self.send(1 - self.node_id, "x")
+
+        def on_message(self, frm, payload):
+            self.log.append(self.now)
+
+    g = WeightedGraph([(0, 1, 3.0)])
+    net = Network(g, lambda v: Pair(), serialize=True)
+    net.run()
+    assert net.processes[0].log == [3.0]
+    assert net.processes[1].log == [3.0]
 
 
 # --------------------------------------------------------------------- #

@@ -7,7 +7,6 @@ from repro.core import euler_tour, shallow_light_tree
 from repro.core.slt import TreeMetric
 from repro.graphs import (
     WeightedGraph,
-    diameter,
     mst_weight,
     network_params,
     path_graph,

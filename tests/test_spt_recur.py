@@ -1,13 +1,10 @@
 """Tests for SPT_recur (Section 9.2): unit expansion + strip BFS."""
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graphs import (
     WeightedGraph,
-    diameter,
     dijkstra,
     path_graph,
     random_connected_graph,

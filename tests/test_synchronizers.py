@@ -20,7 +20,7 @@ from repro.protocols.spt_synch import (
     run_spt_synch,
     run_spt_synchronous_reference,
 )
-from repro.sim import SynchronousProtocol, SynchronousRunner, UniformDelay
+from repro.sim import SynchronousRunner, UniformDelay
 from repro.synch import (
     GammaWConfig,
     build_partition,

@@ -10,7 +10,6 @@ from repro.graphs import (
     ring_graph,
 )
 from repro.protocols import (
-    run_flood,
     run_leader_election,
     run_with_termination_detection,
 )
