@@ -1,0 +1,445 @@
+#!/usr/bin/env python
+"""Perf-regression bench harness: pinned suite, JSON trajectory.
+
+Runs three pinned measurements and writes ``BENCH_<rev>.json`` so every
+revision leaves a comparable perf record:
+
+1. **EventQueue micro-bench** — four event-scheduling shapes modeled on
+   the simulator's real workloads (broadcast waves, serial token walks,
+   synchronizer pulses, transmit fan-out bursts), each driven twice: once
+   through a faithful reconstruction of the pre-optimization stack (the
+   one-entry-per-event heap queue plus the per-event
+   ``peek_time()``/``step()`` driver loop the ``Network`` used to run,
+   closures and all) and once through the current
+   :class:`repro.sim.events.EventQueue` drained by :meth:`run`.  Reported
+   as events/sec per shape plus aggregate speedup.
+2. **Network throughput** — a flooding broadcast on a pinned random
+   graph, reported as messages/sec and events/sec end to end.
+3. **Chaos sweep** — the chaos matrix via the parallel engine, serial vs
+   ``--jobs N``, asserting the merged rows are identical and reporting
+   both wall times.
+
+Usage::
+
+    python scripts/bench.py                 # full pinned suite
+    python scripts/bench.py --quick         # CI smoke (seconds, tiny sizes)
+    python scripts/bench.py --jobs 4        # parallel sweep worker count
+    python scripts/bench.py --out out.json  # explicit output path
+
+Measurements interleave baseline/current repetitions and keep the minimum
+per side, which is robust against the noisy shared machines CI runs on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import os
+import subprocess
+import sys
+import time
+from itertools import count
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments.parallel import (  # noqa: E402
+    chaos_cells,
+    run_chaos_cell,
+    run_parallel,
+)
+from repro.graphs import random_connected_graph  # noqa: E402
+from repro.protocols.broadcast import FloodProcess  # noqa: E402
+from repro.sim.events import EventQueue  # noqa: E402
+from repro.sim.network import Network  # noqa: E402
+
+
+# --------------------------------------------------------------------- #
+# Faithful pre-optimization baseline
+# --------------------------------------------------------------------- #
+
+
+class LegacyEventQueue:
+    """The pre-optimization queue: one ``(time, seq, callback)`` heap entry
+    per event (verbatim reconstruction of the old ``repro.sim.events``)."""
+
+    def __init__(self) -> None:
+        self._heap = []
+        self._seq = count()
+        self.now = 0.0
+
+    def schedule(self, delay, callback):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), callback))
+
+    def schedule_at(self, when, callback):
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        heapq.heappush(self._heap, (when, next(self._seq), callback))
+
+    def peek_time(self):
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self):
+        return len(self._heap)
+
+    def __bool__(self):
+        return bool(self._heap)
+
+    def step(self):
+        if not self._heap:
+            return False
+        when, _, callback = heapq.heappop(self._heap)
+        self.now = when
+        callback()
+        return True
+
+
+class _LegacyHarness:
+    """Stand-in for the old ``Network`` around its event loop (the budget
+    property it probed once per event)."""
+
+    comm_budget = None
+
+    @property
+    def budget_exhausted(self) -> bool:
+        return False
+
+
+def drive_legacy(queue, max_time=float("inf"), max_events=50_000_000):
+    """The pre-optimization ``Network.run`` event loop, per-event costs
+    intact: budget probe, ``stop_when`` check, ``peek_time()`` + ``step()``
+    method calls, and the counter/backstop compare."""
+    harness = _LegacyHarness()
+    stop_when = None
+    events = 0
+    while queue:
+        if harness.budget_exhausted:
+            break
+        if stop_when is not None and stop_when(harness):
+            break
+        if queue.peek_time() > max_time:
+            break
+        if not queue.step():
+            break
+        events += 1
+        if events >= max_events:
+            raise RuntimeError("runaway")
+    return events
+
+
+def drive_current(queue, max_time=float("inf")):
+    _, events = queue.run(max_time=max_time, check_halt=False)
+    return events
+
+
+# --------------------------------------------------------------------- #
+# Workload shapes
+#
+# Each shape seeds a queue and returns the expected event count; the
+# legacy variant schedules closures through the old two-method API, the
+# current one uses ``schedule_call*``.  Both express the same traffic.
+# --------------------------------------------------------------------- #
+
+WAVE_NODES = 256
+WAVE_WEIGHTS = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0)
+CHAIN_STEPS_FULL = 60_000
+PULSE_NODES = 64
+BURST_FANOUT = 2
+BURST_WEIGHTS = (1.0, 2.0, 3.0)
+
+
+def seed_wave_legacy(q, rounds):
+    """Broadcast waves: each node re-delivers at a fixed weight from an
+    8-value set, so nodes sharing a weight land on the same timestamps
+    (heavy collision, like same-weight flooding fronts)."""
+
+    def deliver(node, left):
+        if left > 0:
+            w = WAVE_WEIGHTS[node & 7]
+            q.schedule(w, lambda n=node, r=left - 1: deliver(n, r))
+
+    for node in range(WAVE_NODES):
+        q.schedule(WAVE_WEIGHTS[node & 7],
+                   lambda n=node, r=rounds - 1: deliver(n, r))
+    return WAVE_NODES * rounds
+
+
+def seed_wave_current(q, rounds):
+    def deliver(node, left):
+        if left > 0:
+            q.schedule_call(WAVE_WEIGHTS[node & 7], deliver, node, left - 1)
+
+    for node in range(WAVE_NODES):
+        q.schedule_call(WAVE_WEIGHTS[node & 7], deliver, node, rounds - 1)
+    return WAVE_NODES * rounds
+
+
+def seed_chain_legacy(q, steps):
+    """Serial token walk: one live event, every timestamp distinct (the
+    bucketing worst case — DFS-like traffic)."""
+    state = {"left": steps - 1}
+
+    def hop():
+        if state["left"] > 0:
+            state["left"] -= 1
+            q.schedule(1.0 + (state["left"] & 3) * 0.25, hop)
+
+    q.schedule(1.0, hop)
+    return steps
+
+
+def seed_chain_current(q, steps):
+    state = {"left": steps - 1}
+
+    def hop():
+        if state["left"] > 0:
+            state["left"] -= 1
+            q.schedule_call(1.0 + (state["left"] & 3) * 0.25, hop)
+
+    q.schedule_call(1.0, hop)
+    return steps
+
+
+def seed_pulse_legacy(q, pulses):
+    """Synchronizer pulses: all nodes fire at every integer time."""
+    def fire(node, pulse):
+        if pulse > 1:
+            q.schedule_at(q.now + 1.0, lambda n=node, p=pulse - 1: fire(n, p))
+
+    for node in range(PULSE_NODES):
+        q.schedule_at(1.0, lambda n=node, p=pulses: fire(n, p))
+    return PULSE_NODES * pulses
+
+
+def seed_pulse_current(q, pulses):
+    def fire(node, pulse):
+        if pulse > 1:
+            q.schedule_call_at(q.now + 1.0, fire, node, pulse - 1)
+
+    for node in range(PULSE_NODES):
+        q.schedule_call_at(1.0, fire, node, pulses)
+    return PULSE_NODES * pulses
+
+
+def seed_burst_legacy(q, budget):
+    """Transmit fan-out: each delivery forwards to 2 neighbors over edges
+    with 3 distinct weights (flooding/GHS-like mixed collision traffic)."""
+    state = {"budget": budget - 1}
+
+    def deliver(node):
+        for i in range(BURST_FANOUT):
+            if state["budget"] <= 0:
+                return
+            state["budget"] -= 1
+            w = BURST_WEIGHTS[(node + i) % 3]
+            q.schedule(w, lambda n=node * BURST_FANOUT + i + 1: deliver(n))
+
+    q.schedule(1.0, lambda: deliver(0))
+    return budget
+
+
+def seed_burst_current(q, budget):
+    state = {"budget": budget - 1}
+
+    def deliver(node):
+        for i in range(BURST_FANOUT):
+            if state["budget"] <= 0:
+                return
+            state["budget"] -= 1
+            q.schedule_call(BURST_WEIGHTS[(node + i) % 3], deliver,
+                            node * BURST_FANOUT + i + 1)
+
+    q.schedule_call(1.0, deliver, 0)
+    return budget
+
+
+SHAPES = {
+    # name -> (legacy seeder, current seeder, full size, quick size)
+    "wave": (seed_wave_legacy, seed_wave_current, 240, 12),
+    "chain": (seed_chain_legacy, seed_chain_current, CHAIN_STEPS_FULL, 3_000),
+    "pulse": (seed_pulse_legacy, seed_pulse_current, 900, 45),
+    "fifo_burst": (seed_burst_legacy, seed_burst_current, 60_000, 3_000),
+}
+
+
+def bench_event_queue(reps: int, quick: bool) -> dict:
+    shapes = {}
+    total_events = 0
+    total_legacy = 0.0
+    total_current = 0.0
+    for name, (legacy_seed, current_seed, full, small) in SHAPES.items():
+        size = small if quick else full
+        best_legacy = best_current = float("inf")
+        events = 0
+        # Interleave sides so machine noise hits both equally; keep minima.
+        for _ in range(reps):
+            lq = LegacyEventQueue()
+            expected = legacy_seed(lq, size)
+            t0 = time.perf_counter()
+            ran = drive_legacy(lq)
+            best_legacy = min(best_legacy, time.perf_counter() - t0)
+            assert ran == expected, (name, "legacy", ran, expected)
+
+            cq = EventQueue()
+            expected = current_seed(cq, size)
+            t0 = time.perf_counter()
+            ran = drive_current(cq)
+            best_current = min(best_current, time.perf_counter() - t0)
+            assert ran == expected, (name, "current", ran, expected)
+            events = expected
+        shapes[name] = {
+            "events": events,
+            "legacy_s": best_legacy,
+            "current_s": best_current,
+            "legacy_events_per_s": events / best_legacy,
+            "current_events_per_s": events / best_current,
+            "speedup": best_legacy / best_current,
+        }
+        total_events += events
+        total_legacy += best_legacy
+        total_current += best_current
+    speedups = [s["speedup"] for s in shapes.values()]
+    geomean = 1.0
+    for s in speedups:
+        geomean *= s
+    geomean **= 1.0 / len(speedups)
+    return {
+        "shapes": shapes,
+        "aggregate": {
+            "total_events": total_events,
+            "legacy_s": total_legacy,
+            "current_s": total_current,
+            "speedup": total_legacy / total_current,
+            "geomean_speedup": geomean,
+        },
+    }
+
+
+# --------------------------------------------------------------------- #
+# Network + sweep benches
+# --------------------------------------------------------------------- #
+
+
+def bench_network(reps: int, quick: bool) -> dict:
+    n = 24 if quick else 96
+    extra = 2 * n
+    graph = random_connected_graph(n, extra, seed=11)
+    root = graph.vertices[0]
+    best = float("inf")
+    messages = 0
+    for _ in range(reps):
+        net = Network(graph, lambda v: FloodProcess(v == root, "bench"))
+        t0 = time.perf_counter()
+        result = net.run()
+        best = min(best, time.perf_counter() - t0)
+        messages = result.message_count
+    return {
+        "graph": {"n": n, "m": graph.num_edges},
+        "messages": messages,
+        "wall_s": best,
+        "messages_per_s": messages / best,
+    }
+
+
+def bench_chaos_sweep(jobs: int, quick: bool) -> dict:
+    if quick:
+        per_seed = dict(n=10, extra_edges=12, drop_rates=(0.0, 0.2))
+        graph_seeds = (4,)
+    else:
+        per_seed = dict(n=14, extra_edges=20, drop_rates=(0.0, 0.05, 0.2))
+        graph_seeds = (2, 3, 5)
+    cells = []
+    for gs in graph_seeds:
+        cells += chaos_cells(graph_seed=gs, **per_seed)
+    run_parallel(run_chaos_cell, cells, jobs=1)  # warm case/reference memos
+    t0 = time.perf_counter()
+    serial = run_parallel(run_chaos_cell, cells, jobs=1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_parallel(run_chaos_cell, cells, jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+    return {
+        "rows": len(serial),
+        "graph_seeds": list(graph_seeds),
+        "jobs": jobs,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s else float("inf"),
+        "identical": serial == parallel,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------- #
+
+
+def git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="tiny pinned sizes for CI smoke runs")
+    ap.add_argument("--jobs", type=int, default=4,
+                    help="worker count for the parallel sweep bench")
+    ap.add_argument("--reps", type=int, default=None,
+                    help="repetitions per measurement (min is kept)")
+    ap.add_argument("--out", type=Path, default=None,
+                    help="output path (default BENCH_<rev>.json in repo root)")
+    args = ap.parse_args(argv)
+
+    reps = args.reps if args.reps is not None else (3 if args.quick else 7)
+    rev = git_rev()
+    report = {
+        "rev": rev,
+        "unix_time": int(time.time()),
+        "python": sys.version.split()[0],
+        "cpus": os.cpu_count(),
+        "quick": args.quick,
+        "reps": reps,
+        "event_queue": bench_event_queue(reps, args.quick),
+        "network": bench_network(reps, args.quick),
+        "chaos_sweep": bench_chaos_sweep(args.jobs, args.quick),
+    }
+
+    out = args.out or REPO / f"BENCH_{rev}.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    eq = report["event_queue"]
+    for name, s in eq["shapes"].items():
+        print(f"{name:12s} {s['events']:>8d} ev  "
+              f"legacy {s['legacy_events_per_s']:>12,.0f}/s  "
+              f"current {s['current_events_per_s']:>12,.0f}/s  "
+              f"x{s['speedup']:.2f}")
+    agg = eq["aggregate"]
+    print(f"{'aggregate':12s} {agg['total_events']:>8d} ev  "
+          f"speedup x{agg['speedup']:.2f}  (geomean x{agg['geomean_speedup']:.2f})")
+    net = report["network"]
+    print(f"network flood: {net['messages']} msgs, "
+          f"{net['messages_per_s']:,.0f} msgs/s")
+    cs = report["chaos_sweep"]
+    print(f"chaos sweep: {cs['rows']} rows, serial {cs['serial_s']:.2f}s, "
+          f"jobs={cs['jobs']} {cs['parallel_s']:.2f}s "
+          f"(x{cs['speedup']:.2f}), identical={cs['identical']}")
+    print(f"wrote {out}")
+
+    if not cs["identical"]:
+        print("FATAL: parallel sweep rows differ from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,15 @@ Render the full report from the command line:
 """
 
 from .base import Table, all_experiments, experiment, render_markdown, render_text
+from .parallel import (
+    ChaosCell,
+    cell_seed,
+    chaos_cells,
+    chaos_rows,
+    run_chaos_cell,
+    run_parallel,
+    summarize_chaos_entry,
+)
 
 __all__ = [
     "Table",
@@ -22,4 +31,12 @@ __all__ = [
     "all_experiments",
     "render_text",
     "render_markdown",
+    # parallel sweep engine
+    "run_parallel",
+    "cell_seed",
+    "ChaosCell",
+    "chaos_cells",
+    "run_chaos_cell",
+    "chaos_rows",
+    "summarize_chaos_entry",
 ]

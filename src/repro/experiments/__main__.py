@@ -3,21 +3,39 @@
     python -m repro.experiments               # run everything, plain text
     python -m repro.experiments fig1 clock    # a subset by key
     python -m repro.experiments --markdown    # markdown output
+    python -m repro.experiments --jobs 4      # shard experiments across 4 processes
     python -m repro.experiments --list        # show available experiments
 """
 
 from __future__ import annotations
 
 import sys
-import time
 
 from .base import all_experiments, render_markdown, render_text
+from .parallel import run_experiment_by_key, run_parallel
+
+
+def _pop_jobs(args: list[str]) -> int | None:
+    """Extract ``--jobs N`` (or ``--jobs=N``) from ``args``, mutating it."""
+    for i, a in enumerate(args):
+        if a == "--jobs":
+            if i + 1 >= len(args):
+                raise SystemExit("--jobs requires an argument")
+            jobs = int(args[i + 1])
+            del args[i:i + 2]
+            return jobs
+        if a.startswith("--jobs="):
+            jobs = int(a.split("=", 1)[1])
+            del args[i]
+            return jobs
+    return None
 
 
 def main(argv: list[str]) -> int:
     args = list(argv)
     markdown = "--markdown" in args
     args = [a for a in args if a != "--markdown"]
+    jobs = _pop_jobs(args)
     registry = all_experiments()
 
     if "--list" in args:
@@ -33,11 +51,11 @@ def main(argv: list[str]) -> int:
         return 2
 
     render = render_markdown if markdown else render_text
-    for key in keys:
-        desc, runner = registry[key]
-        start = time.perf_counter()
-        tables = runner()
-        elapsed = time.perf_counter() - start
+    # One experiment per cell: outputs come back in request order, so the
+    # report reads identically whether sharded or serial.
+    for key, desc, elapsed, tables in run_parallel(
+        run_experiment_by_key, keys, jobs=jobs
+    ):
         header = f"# {key}: {desc}  ({elapsed:.1f}s)"
         print(header if markdown else header.lstrip("# "))
         for table in tables:

@@ -1,0 +1,261 @@
+"""Multiprocessing sweep engine: shard experiment cells across workers.
+
+Experiment sweeps are embarrassingly parallel — every *cell* (one
+(graph, seed, protocol) combination) is an independent simulation — but the
+serial runners execute them one at a time.  This module provides the
+machinery to shard cells across a process pool while keeping the two
+properties the test-suite pins down:
+
+**Determinism.**  A cell's outcome depends only on the cell description,
+never on which worker ran it or in what order: cell descriptions are
+immutable, carry every seed explicitly, and :func:`cell_seed` derives
+per-cell seeds by hashing the cell key with SHA-256 (stable across
+processes and interpreter runs, unlike ``hash()`` under hash
+randomization).  ``run_parallel`` returns results in cell order
+regardless of completion order, so a parallel sweep merges to exactly the
+serial table.
+
+**Picklability.**  Full :class:`~repro.faults.runner.ChaosOutcome` objects
+hold live process graphs (closures, bound methods) and cannot cross a
+process boundary, so workers return flat summary rows
+(:func:`summarize_chaos_entry`) containing only primitives.  The serial
+path (``jobs=None``/``1``) runs the same worker in-process, so serial and
+parallel sweeps produce byte-identical row lists.
+
+Reconstruction cost is amortized per worker: each process memoizes the
+case suite and the fault-free reference runs (:func:`_cases_by_name`,
+:func:`_reference`), so a worker pays the graph/SLT construction once per
+distinct graph, not once per cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
+
+__all__ = [
+    "cell_seed",
+    "run_parallel",
+    "ChaosCell",
+    "chaos_cells",
+    "run_chaos_cell",
+    "chaos_rows",
+    "summarize_chaos_entry",
+    "run_experiment_by_key",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def cell_seed(master_seed: int, *key: Any) -> int:
+    """A deterministic 63-bit seed for the sweep cell identified by ``key``.
+
+    Derived by hashing ``(master_seed, *key)`` with SHA-256, so it is
+    stable across processes, platforms, and ``PYTHONHASHSEED`` values —
+    the properties Python's built-in ``hash()`` lacks.  Distinct cells get
+    (overwhelmingly likely) distinct, uncorrelated seeds, which is what a
+    sweep needs to vary randomness *between* cells while keeping every
+    cell individually reproducible.
+    """
+    digest = hashlib.sha256(repr((master_seed,) + key).encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def run_parallel(
+    fn: Callable[[_T], _R],
+    cells: Iterable[_T],
+    *,
+    jobs: Optional[int] = None,
+    chunksize: int = 1,
+) -> list[_R]:
+    """Map ``fn`` over ``cells``, optionally across a process pool.
+
+    ``jobs=None``/``0``/``1`` runs serially in-process (no pool, no
+    pickling) — the reference path the parallel one must match.  With
+    ``jobs > 1``, cells are sharded across ``jobs`` worker processes;
+    ``fn`` and each cell must be picklable (module-level function, frozen
+    dataclass cells).  Results always come back in cell order, so callers
+    can merge by concatenation.
+    """
+    cells = list(cells)
+    if jobs is None or jobs <= 1 or len(cells) <= 1:
+        return [fn(c) for c in cells]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, cells, chunksize=chunksize))
+
+
+# --------------------------------------------------------------------- #
+# Chaos-matrix sharding
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One chaos-matrix cell, fully described by picklable primitives.
+
+    The graph and protocol are carried as *construction parameters*
+    (``make_cases`` arguments plus the protocol name), not as objects:
+    process factories close over precomputed structures and cannot cross a
+    process boundary.  Workers rebuild — and memoize — the suite locally.
+    """
+
+    n: int
+    extra_edges: int
+    graph_seed: int
+    protocol: str
+    drop: float
+    reliable: bool
+    fault_seed: int
+
+
+def chaos_cells(
+    *,
+    n: int = 14,
+    extra_edges: int = 20,
+    graph_seed: int = 2,
+    drop_rates: Sequence[float] = (0.0, 0.05, 0.2),
+    fault_seed: int = 7,
+    include_raw: bool = True,
+    protocols: Optional[Sequence[str]] = None,
+) -> list[ChaosCell]:
+    """The cell list of a chaos sweep, in serial-matrix row order."""
+    if protocols is None:
+        from .chaos import make_cases
+
+        protocols = [c.name for c in make_cases(n, extra_edges, graph_seed)]
+    cells = []
+    for name in protocols:
+        for rate in drop_rates:
+            modes = [True] + ([False] if include_raw and rate > 0 else [])
+            for reliable in modes:
+                cells.append(ChaosCell(n, extra_edges, graph_seed, name,
+                                       rate, reliable, fault_seed))
+    return cells
+
+
+@lru_cache(maxsize=8)
+def _cases_by_name(n: int, extra_edges: int, graph_seed: int) -> dict:
+    """Per-process memo of the case suite for one benchmark graph."""
+    from .chaos import make_cases
+
+    return {c.name: c for c in make_cases(n, extra_edges, graph_seed)}
+
+
+@lru_cache(maxsize=64)
+def _reference(n: int, extra_edges: int, graph_seed: int, protocol: str):
+    """Per-process memo of one protocol's fault-free reference run."""
+    from ..faults import run_chaos
+
+    case = _cases_by_name(n, extra_edges, graph_seed)[protocol]
+    reference = run_chaos(case.graph, case.factory, plan=None,
+                          reliable=False, answer=case.answer)
+    if reference.status != "ok":  # pragma: no cover - suite invariant
+        raise RuntimeError(
+            f"fault-free reference run failed for {protocol}: "
+            f"{reference.status}"
+        )
+    return reference
+
+
+def _summarize(protocol: str, drop: float, reliable: bool,
+               outcome, ff_cost: float) -> dict:
+    """Flatten one outcome to primitives (identical serial vs. parallel)."""
+    result = outcome.result
+    answer_digest = hashlib.sha256(
+        repr(outcome.answer).encode()
+    ).hexdigest()[:16] if outcome.answer is not None else None
+    return {
+        "protocol": protocol,
+        "drop": drop,
+        "reliable": reliable,
+        "status": outcome.status,
+        "comm_cost": result.comm_cost if result else None,
+        "time": result.time if result else None,
+        "messages": result.message_count if result else None,
+        "retry_count": outcome.retry_count,
+        "retry_cost": outcome.retry_cost,
+        "ack_cost": outcome.ack_cost,
+        "ff_cost": ff_cost,
+        "overhead_ratio": outcome.retry_cost / ff_cost if ff_cost else 0.0,
+        "answer_digest": answer_digest,
+    }
+
+
+def run_chaos_cell(cell: ChaosCell) -> dict:
+    """Execute one chaos cell and return its flat summary row.
+
+    Module-level and closed over nothing, so it shards cleanly across a
+    process pool; the expensive shared state (case suite, fault-free
+    reference) is rebuilt once per worker process via the ``lru_cache``
+    memos above.
+    """
+    from ..faults import FaultPlan, run_chaos
+
+    case = _cases_by_name(cell.n, cell.extra_edges, cell.graph_seed)[cell.protocol]
+    reference = _reference(cell.n, cell.extra_edges, cell.graph_seed,
+                           cell.protocol)
+    ff_cost = reference.result.comm_cost
+    watchdog = 500.0 * max(reference.result.time, 1.0) + 1000.0
+    plan = (FaultPlan.message_loss(cell.drop, seed=cell.fault_seed)
+            if cell.drop > 0 else None)
+    outcome = run_chaos(
+        case.graph, case.factory, plan=plan, reliable=cell.reliable,
+        watchdog_time=watchdog, answer=case.answer, expect=reference.answer,
+    )
+    return _summarize(cell.protocol, cell.drop, cell.reliable, outcome,
+                      ff_cost)
+
+
+def summarize_chaos_entry(entry: dict) -> dict:
+    """Flatten one :func:`~repro.experiments.chaos.chaos_matrix` row to the
+    same summary shape :func:`run_chaos_cell` emits (for serial-vs-parallel
+    equality checks)."""
+    return _summarize(entry["protocol"], entry["drop"], entry["reliable"],
+                      entry["outcome"], entry["ff_cost"])
+
+
+def chaos_rows(
+    *,
+    jobs: Optional[int] = None,
+    n: int = 14,
+    extra_edges: int = 20,
+    graph_seed: int = 2,
+    drop_rates: Sequence[float] = (0.0, 0.05, 0.2),
+    fault_seed: int = 7,
+    include_raw: bool = True,
+) -> list[dict]:
+    """The chaos matrix as flat summary rows, optionally sharded.
+
+    Serial (``jobs<=1``) and parallel runs return byte-identical lists:
+    the same cells, executed by the same worker function, merged in the
+    same order.
+    """
+    cells = chaos_cells(n=n, extra_edges=extra_edges, graph_seed=graph_seed,
+                        drop_rates=drop_rates, fault_seed=fault_seed,
+                        include_raw=include_raw)
+    return run_parallel(run_chaos_cell, cells, jobs=jobs)
+
+
+# --------------------------------------------------------------------- #
+# Whole-experiment sharding (the CLI's --jobs)
+# --------------------------------------------------------------------- #
+
+
+def run_experiment_by_key(key: str) -> tuple[str, str, float, list]:
+    """Run one registered experiment; return ``(key, desc, secs, tables)``.
+
+    The coarse sharding unit for ``python -m repro.experiments --jobs N``:
+    whole experiments are independent, and their :class:`Table` outputs
+    contain only primitives, so they pickle cleanly back to the parent.
+    """
+    from .base import all_experiments
+
+    desc, fn = all_experiments()[key]
+    start = time.perf_counter()
+    tables = fn()
+    return key, desc, time.perf_counter() - start, tables

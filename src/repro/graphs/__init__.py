@@ -3,6 +3,7 @@
 Public surface of :mod:`repro.graphs`; every symbol here is stable API.
 """
 
+from .cache import GraphParamCache, param_cache
 from .generators import (
     binary_tree,
     caterpillar_graph,
@@ -84,4 +85,7 @@ __all__ = [
     "script_E",
     "script_V",
     "script_D",
+    # cache
+    "GraphParamCache",
+    "param_cache",
 ]

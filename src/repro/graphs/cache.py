@@ -1,0 +1,220 @@
+"""Memoized per-graph network parameters with mutation invalidation.
+
+The paper (Sections 1-2) treats script-V ``w(MST(G))``, script-D
+``Diam(G)``, and the shortest-path structure of ``G`` as *fixed per-graph
+quantities*, yet every protocol construction and experiment sweep used to
+recompute them from scratch on each call — an O(n * m log n) tax per run
+that dominated sweep wall time.  :class:`GraphParamCache` memoizes them
+per :class:`~repro.graphs.weighted_graph.WeightedGraph` instance and
+invalidates automatically when the graph mutates.
+
+Invalidation contract (see docs/PERF.md):
+
+* every mutating ``WeightedGraph`` operation (``add_vertex``,
+  ``add_edge``, ``remove_edge``) bumps the graph's ``version`` counter;
+* every cache accessor compares the stored version against the graph's
+  before answering and wipes all memoized state on mismatch — a stale
+  answer is therefore impossible as long as mutations go through the
+  ``WeightedGraph`` API (mutating ``_adj`` directly is out of contract);
+* cached aggregate values (floats, :class:`NetworkParams`) are immutable
+  and safe to share; cached *structures* (the MST tree, shortest-path
+  dicts) are shared read-only views — callers must copy before mutating.
+
+The cache attaches lazily to the graph instance (``param_cache(g)``), so
+its lifetime — and memory — is tied to the graph it describes.  Per-source
+shortest-path tables are cached only for the sources actually queried;
+whole-graph scans (:meth:`eccentricities`) stream their Dijkstra runs
+without retaining the per-source tables, keeping memory O(n) instead of
+O(n^2) on large graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .mst import prim_mst
+from .paths import dijkstra
+from .weighted_graph import Vertex, WeightedGraph
+
+__all__ = ["GraphParamCache", "param_cache"]
+
+
+class GraphParamCache:
+    """Version-checked memo of one graph's weighted parameters."""
+
+    __slots__ = (
+        "graph", "_version", "_sssp", "_ecc", "_mst", "_mst_weight",
+        "_diameter", "_max_nbr", "_params", "_connected",
+        "hits", "misses", "invalidations",
+    )
+
+    def __init__(self, graph: WeightedGraph) -> None:
+        self.graph = graph
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._wipe()
+        self._version = graph.version
+
+    # ------------------------------------------------------------------ #
+    # Invalidation plumbing
+    # ------------------------------------------------------------------ #
+
+    def _wipe(self) -> None:
+        self._sssp: dict[Vertex, tuple[dict, dict]] = {}
+        self._ecc: Optional[dict[Vertex, float]] = None
+        self._mst: Optional[WeightedGraph] = None
+        self._mst_weight: Optional[float] = None
+        self._diameter: Optional[float] = None
+        self._max_nbr: Optional[float] = None
+        self._params = None
+        self._connected: Optional[bool] = None
+
+    def _sync(self) -> None:
+        if self._version != self.graph.version:
+            self._wipe()
+            self._version = self.graph.version
+            self.invalidations += 1
+
+    # ------------------------------------------------------------------ #
+    # Shortest-path structure
+    # ------------------------------------------------------------------ #
+
+    def sssp(self, source: Vertex) -> tuple[dict, dict]:
+        """Cached ``(dist, parent)`` of a Dijkstra run from ``source``.
+
+        The returned dicts are the cache's own — treat them as read-only
+        (use :func:`repro.graphs.paths.dijkstra` for a private copy).
+        """
+        self._sync()
+        hit = self._sssp.get(source)
+        if hit is not None:
+            self.hits += 1
+            return hit
+        self.misses += 1
+        result = dijkstra(self.graph, source)
+        self._sssp[source] = result
+        return result
+
+    def eccentricities(self) -> dict[Vertex, float]:
+        """``Rad(v, G)`` for every vertex (inf where G is disconnected)."""
+        self._sync()
+        if self._ecc is not None:
+            self.hits += 1
+            return self._ecc
+        self.misses += 1
+        g = self.graph
+        n = g.num_vertices
+        ecc: dict[Vertex, float] = {}
+        for v in g.vertices:
+            pair = self._sssp.get(v)
+            dist = pair[0] if pair is not None else dijkstra(g, v)[0]
+            ecc[v] = max(dist.values()) if len(dist) == n else float("inf")
+        self._ecc = ecc
+        return ecc
+
+    def eccentricity(self, v: Vertex) -> float:
+        return self.eccentricities()[v]
+
+    def diameter(self) -> float:
+        """script-D — the weighted diameter ``Diam(G)``."""
+        self._sync()
+        if self._diameter is None:
+            self._diameter = max(self.eccentricities().values(), default=0.0)
+        else:
+            self.hits += 1
+        return self._diameter
+
+    def max_neighbor_distance(self) -> float:
+        """``d = max_{(u,v) in E} dist(u, v)`` (clock-sync lower bound)."""
+        self._sync()
+        if self._max_nbr is not None:
+            self.hits += 1
+            return self._max_nbr
+        self.misses += 1
+        g = self.graph
+        best = 0.0
+        for u in g.vertices:
+            pair = self._sssp.get(u)
+            dist = pair[0] if pair is not None else dijkstra(g, u)[0]
+            for v in g.neighbors(u):
+                d = dist[v]
+                if d > best:
+                    best = d
+        self._max_nbr = best
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Spanning structure
+    # ------------------------------------------------------------------ #
+
+    def mst(self) -> WeightedGraph:
+        """The memoized MST (read-only; copy before mutating)."""
+        self._sync()
+        if self._mst is not None:
+            self.hits += 1
+            return self._mst
+        self.misses += 1
+        self._mst = prim_mst(self.graph)
+        return self._mst
+
+    def mst_weight(self) -> float:
+        """script-V — ``w(MST(G))``."""
+        self._sync()
+        if self._mst_weight is None:
+            self._mst_weight = self.mst().total_weight()
+        else:
+            self.hits += 1
+        return self._mst_weight
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+
+    def is_connected(self) -> bool:
+        self._sync()
+        if self._connected is None:
+            self._connected = self.graph.is_connected()
+        else:
+            self.hits += 1
+        return self._connected
+
+    def network_params(self):
+        """The full :class:`~repro.graphs.params.NetworkParams` record."""
+        self._sync()
+        if self._params is not None:
+            self.hits += 1
+            return self._params
+        from .params import NetworkParams  # deferred: params imports us
+
+        if not self.is_connected():
+            raise ValueError("network parameters require a connected graph")
+        g = self.graph
+        self._params = NetworkParams(
+            n=g.num_vertices,
+            m=g.num_edges,
+            E=g.total_weight(),
+            V=self.mst_weight(),
+            D=self.diameter(),
+            W=g.max_weight(),
+            d=self.max_neighbor_distance(),
+        )
+        return self._params
+
+    def stats(self) -> dict:
+        """Counters for tests and the bench harness."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "sssp_sources": len(self._sssp),
+        }
+
+
+def param_cache(graph: WeightedGraph) -> GraphParamCache:
+    """The cache attached to ``graph``, creating it on first use."""
+    cache = getattr(graph, "_param_cache", None)
+    if cache is None:
+        cache = GraphParamCache(graph)
+        graph._param_cache = cache
+    return cache

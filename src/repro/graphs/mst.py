@@ -101,5 +101,7 @@ def minimum_spanning_tree(graph: WeightedGraph) -> WeightedGraph:
 
 
 def mst_weight(graph: WeightedGraph) -> float:
-    """``V = w(MST(G))`` — the paper's script-V parameter."""
-    return minimum_spanning_tree(graph).total_weight()
+    """``V = w(MST(G))`` — the paper's script-V parameter (memoized per graph)."""
+    from .cache import param_cache
+
+    return param_cache(graph).mst_weight()

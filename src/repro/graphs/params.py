@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .mst import mst_weight
-from .paths import diameter, max_neighbor_distance
+from .paths import diameter
 from .weighted_graph import WeightedGraph
 
 __all__ = ["NetworkParams", "network_params", "script_E", "script_V", "script_D"]
@@ -66,17 +66,11 @@ class NetworkParams:
 def network_params(graph: WeightedGraph) -> NetworkParams:
     """Compute every weighted parameter of ``graph`` (requires connectivity).
 
-    Sanity relations that always hold (and are property-tested):
-    ``D <= V <= E``, ``d <= W``, and ``V <= (n-1) * D`` (Fact 6.3).
+    Memoized per graph via :mod:`repro.graphs.cache` and invalidated when
+    the graph mutates.  Sanity relations that always hold (and are
+    property-tested): ``D <= V <= E``, ``d <= W``, and ``V <= (n-1) * D``
+    (Fact 6.3).
     """
-    if not graph.is_connected():
-        raise ValueError("network parameters require a connected graph")
-    return NetworkParams(
-        n=graph.num_vertices,
-        m=graph.num_edges,
-        E=script_E(graph),
-        V=script_V(graph),
-        D=script_D(graph),
-        W=graph.max_weight(),
-        d=max_neighbor_distance(graph),
-    )
+    from .cache import param_cache
+
+    return param_cache(graph).network_params()

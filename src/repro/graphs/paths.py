@@ -67,13 +67,17 @@ def dijkstra(
 
 def distance(graph: WeightedGraph, u: Vertex, v: Vertex) -> float:
     """``dist(u, v, G)``; ``inf`` if disconnected."""
-    dist, _ = dijkstra(graph, u)
+    from .cache import param_cache
+
+    dist, _ = param_cache(graph).sssp(u)
     return dist.get(v, float("inf"))
 
 
 def shortest_path(graph: WeightedGraph, u: Vertex, v: Vertex) -> list[Vertex]:
     """``Path(u, v, G)`` as a vertex list from u to v; raise if disconnected."""
-    dist, parent = dijkstra(graph, u)
+    from .cache import param_cache
+
+    dist, parent = param_cache(graph).sssp(u)
     if v not in dist:
         raise ValueError(f"{v!r} unreachable from {u!r}")
     path = [v]
@@ -87,9 +91,11 @@ def shortest_path_tree(graph: WeightedGraph, source: Vertex) -> WeightedGraph:
     """The SPT of ``graph`` rooted at ``source``.
 
     Raises ``ValueError`` on a disconnected graph (the paper's model assumes
-    connectivity).
+    connectivity).  The returned tree is freshly built and safe to mutate.
     """
-    dist, parent = dijkstra(graph, source)
+    from .cache import param_cache
+
+    dist, parent = param_cache(graph).sssp(source)
     if len(dist) != graph.num_vertices:
         raise ValueError("graph is not connected; SPT undefined")
     tree = WeightedGraph(vertices=graph.vertices)
@@ -140,29 +146,32 @@ def tree_distances(tree: WeightedGraph, root: Vertex) -> dict[Vertex, float]:
 
 def eccentricity(graph: WeightedGraph, v: Vertex) -> float:
     """``Rad(v, G)`` — the largest weighted distance from v to any vertex."""
-    dist, _ = dijkstra(graph, v)
-    if len(dist) != graph.num_vertices:
-        return float("inf")
-    return max(dist.values())
+    from .cache import param_cache
+
+    return param_cache(graph).eccentricity(v)
 
 
 def diameter(graph: WeightedGraph) -> float:
     """``Diam(G)`` — the maximum weighted distance between any vertex pair.
 
-    Exact computation via n Dijkstra runs; fine at the scales the paper's
-    experiments need (n up to a few thousand).
+    Exact computation via n Dijkstra runs (memoized per graph; see
+    :mod:`repro.graphs.cache`); fine at the scales the paper's experiments
+    need (n up to a few thousand).
     """
-    return max((eccentricity(graph, v) for v in graph.vertices), default=0.0)
+    from .cache import param_cache
+
+    return param_cache(graph).diameter()
 
 
 def radius_center(graph: WeightedGraph) -> tuple[float, Vertex]:
     """``(Rad(S), center)`` — minimum eccentricity and a vertex achieving it."""
     if graph.num_vertices == 0:
         raise ValueError("empty graph has no center")
+    from .cache import param_cache
+
     best_v = None
     best_r = float("inf")
-    for v in graph.vertices:
-        r = eccentricity(graph, v)
+    for v, r in param_cache(graph).eccentricities().items():
         if r < best_r:
             best_r, best_v = r, v
     return best_r, best_v
@@ -175,9 +184,6 @@ def max_neighbor_distance(graph: WeightedGraph) -> float:
     precisely when d << W (a heavy edge whose endpoints are close through the
     rest of the network).
     """
-    best = 0.0
-    for u in graph.vertices:
-        dist, _ = dijkstra(graph, u)
-        for v in graph.neighbors(u):
-            best = max(best, dist[v])
-    return best
+    from .cache import param_cache
+
+    return param_cache(graph).max_neighbor_distance()

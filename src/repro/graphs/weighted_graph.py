@@ -56,6 +56,9 @@ class WeightedGraph:
         vertices: Optional[Iterable[Vertex]] = None,
     ) -> None:
         self._adj: dict[Vertex, dict[Vertex, float]] = {}
+        # Mutation counter consumed by repro.graphs.cache.GraphParamCache;
+        # bumped by every operation that can change a derived parameter.
+        self._version = 0
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -69,7 +72,9 @@ class WeightedGraph:
 
     def add_vertex(self, v: Vertex) -> None:
         """Add an isolated vertex (no-op if already present)."""
-        self._adj.setdefault(v, {})
+        if v not in self._adj:
+            self._adj[v] = {}
+            self._version += 1
 
     def add_edge(self, u: Vertex, v: Vertex, weight: float) -> None:
         """Add (or overwrite) the undirected edge (u, v) with the given weight.
@@ -83,11 +88,24 @@ class WeightedGraph:
             raise ValueError(f"edge weight must be positive, got {weight!r}")
         self._adj.setdefault(u, {})[v] = weight
         self._adj.setdefault(v, {})[u] = weight
+        self._version += 1
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the undirected edge (u, v); raise KeyError if absent."""
         del self._adj[u][v]
         del self._adj[v][u]
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (see :mod:`repro.graphs.cache`).
+
+        Any change made through the public API (``add_vertex`` of a new
+        vertex, ``add_edge`` — including weight overwrites — and
+        ``remove_edge``) increments it; derived-parameter caches compare it
+        to detect staleness.
+        """
+        return self._version
 
     def copy(self) -> "WeightedGraph":
         """Return an independent deep copy of this graph."""

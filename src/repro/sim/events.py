@@ -1,8 +1,36 @@
 """A minimal deterministic discrete-event queue.
 
-Events are ``(time, sequence, callback)`` triples kept in a binary heap.
-The monotonically increasing sequence number makes simultaneous events fire
-in scheduling order, so runs are fully deterministic for a fixed seed.
+The heap holds one fixed-slot entry ``(time, seq, bucket)`` per *distinct
+pending timestamp*; ``bucket`` is a flat FIFO batch
+``[cursor, fn0, args0, fn1, args1, ...]`` of every event scheduled at that
+instant, in scheduling order.  Scheduling an event at a timestamp that is
+already pending is therefore an O(1) list append instead of an O(log n)
+heap push — the dominant cost on the simulator's hot path, where
+synchronous pulses and same-weight broadcast waves make most events share
+their timestamp ("batched FIFO delivery").
+
+Ordering semantics are identical to a classical one-entry-per-event heap
+with a monotone tie-breaking sequence number: simultaneous events fire in
+scheduling order — across *all* entry points (`schedule`, `schedule_at`,
+`schedule_call`, `schedule_call_at`), even when the heap drained in
+between — so runs are fully deterministic for a fixed seed.  An event
+scheduled *at the current instant* from inside a callback joins the
+currently draining batch and fires after everything already queued at
+that time, exactly as before.
+
+Two further design points matter for throughput (see docs/PERF.md and
+``scripts/bench.py``):
+
+* ``schedule_call`` / ``schedule_call_at`` store the callable and its
+  argument tuple directly in the event's slots instead of forcing callers
+  to allocate a capturing closure per event;
+* :meth:`run` drains the queue in a single tight loop with the heap and
+  ``heappop`` bound to locals, instead of paying one ``peek_time()`` plus
+  one ``step()`` method call per event.
+
+The scheduling methods repeat the small push body instead of sharing a
+helper: one extra method call per scheduled event is measurable at the
+rates ``scripts/bench.py`` tracks.
 """
 
 from __future__ import annotations
@@ -13,42 +41,243 @@ from itertools import count
 
 __all__ = ["EventQueue"]
 
+_NO_ARGS: tuple = ()
+_heappush = heapq.heappush
+
 
 class EventQueue:
     """Time-ordered callback queue."""
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        # One entry per distinct pending time: (time, seq, bucket) where
+        # bucket = [cursor:int, fn0, args0, fn1, args1, ...].  The cursor
+        # marks the next un-fired item (it advances by 2; non-zero offsets
+        # persist only while a batch is being drained or after run() was
+        # interrupted).  seq is unique, so heap comparisons never reach
+        # the bucket list.
+        self._heap: list[tuple] = []
+        # Live (still appendable) buckets by timestamp.
+        self._buckets: dict[float, list] = {}
         self._seq = count()
+        # Pre-bound lookups shaving ~100ns off every singleton schedule
+        # (the dict and the counter are never replaced, only mutated).
+        self._bucket_get = self._buckets.get
+        self._next_seq = self._seq.__next__
+        self._size = 0
         self.now: float = 0.0
+        #: Cooperative halt flag checked once per event by :meth:`run`.
+        #: A callback may set it to stop the drain loop after it returns.
+        self.halted: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to fire ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), callback))
+        when = self.now + delay
+        bucket = self._bucket_get(when)
+        if bucket is None:
+            self._buckets[when] = bucket = [1, callback, _NO_ARGS]
+            heap = self._heap
+            entry = (when, self._next_seq(), bucket)
+            if heap:
+                _heappush(heap, entry)
+            else:
+                heap.append(entry)
+        else:
+            bucket.append(callback)
+            bucket.append(_NO_ARGS)
+        self._size += 1
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at absolute time ``when`` (>= now)."""
+        """Schedule ``callback`` at absolute time ``when`` (>= now).
+
+        ``when == now`` is allowed: the event fires after every event
+        already scheduled at the current instant (scheduling order is
+        total across all entry points, even when the heap was fully
+        drained in between).
+        """
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
-        heapq.heappush(self._heap, (when, next(self._seq), callback))
+        bucket = self._bucket_get(when)
+        if bucket is None:
+            self._buckets[when] = bucket = [1, callback, _NO_ARGS]
+            heap = self._heap
+            entry = (when, self._next_seq(), bucket)
+            if heap:
+                _heappush(heap, entry)
+            else:
+                heap.append(entry)
+        else:
+            bucket.append(callback)
+            bucket.append(_NO_ARGS)
+        self._size += 1
+
+    def schedule_call(self, delay: float, fn: Callable, *args) -> None:
+        """Like :meth:`schedule`, but stores ``fn`` and ``args`` directly.
+
+        Avoids allocating a capturing closure per event — the entry itself
+        carries the argument slots.  This is the hot-path API.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        when = self.now + delay
+        bucket = self._bucket_get(when)
+        if bucket is None:
+            self._buckets[when] = bucket = [1, fn, args]
+            heap = self._heap
+            entry = (when, self._next_seq(), bucket)
+            if heap:
+                _heappush(heap, entry)
+            else:
+                heap.append(entry)
+        else:
+            bucket.append(fn)
+            bucket.append(args)
+        self._size += 1
+
+    def schedule_call_at(self, when: float, fn: Callable, *args) -> None:
+        """Like :meth:`schedule_at`, but stores ``fn`` and ``args`` directly."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        bucket = self._bucket_get(when)
+        if bucket is None:
+            self._buckets[when] = bucket = [1, fn, args]
+            heap = self._heap
+            entry = (when, self._next_seq(), bucket)
+            if heap:
+                _heappush(heap, entry)
+            else:
+                heap.append(entry)
+        else:
+            bucket.append(fn)
+            bucket.append(args)
+        self._size += 1
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
 
     def peek_time(self) -> float | None:
         """Timestamp of the earliest pending event, or None if empty."""
         return self._heap[0][0] if self._heap else None
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._size
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return self._size > 0
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def _retire(self, when: float, bucket: list) -> None:
+        """Drop a fully dispatched batch (it is the heap front by invariant)."""
+        heapq.heappop(self._heap)
+        if self._buckets.get(when) is bucket:
+            del self._buckets[when]
 
     def step(self) -> bool:
         """Pop and run the earliest event; return False if the queue is empty."""
-        if not self._heap:
+        if not self._size:
             return False
-        when, _, callback = heapq.heappop(self._heap)
+        while True:
+            when, _, bucket = self._heap[0]
+            if bucket[0] < len(bucket):
+                break
+            # A batch fully dispatched by an interrupted run() may still
+            # sit at the front; drop it and look again.
+            self._retire(when, bucket)
         self.now = when
-        callback()
+        i = bucket[0]
+        fn = bucket[i]
+        args = bucket[i + 1]
+        bucket[0] = i + 2
+        self._size -= 1
+        fn(*args)
+        # Retire only after the callback ran: it may have appended new
+        # same-time events to this very batch.
+        if bucket[0] == len(bucket):
+            self._retire(when, bucket)
         return True
+
+    def run(
+        self,
+        *,
+        max_time: float = float("inf"),
+        max_events: int | None = None,
+        check_halt: bool = True,
+    ) -> tuple[str, int]:
+        """Drain the queue in one tight loop; return ``(reason, n_events)``.
+
+        Fires events in (time, scheduling) order until one of:
+
+        * ``"empty"``      — the queue drained (quiescence);
+        * ``"max_time"``   — the next event lies strictly beyond
+          ``max_time`` (events exactly *at* the deadline still fire; the
+          over-deadline event stays queued);
+        * ``"max_events"`` — ``max_events`` events fired;
+        * ``"halted"``     — a callback set :attr:`halted` (cleared on
+          entry, probed after every event unless ``check_halt`` is False —
+          callers that know no callback halts may skip the probe).
+
+        Semantically identical to ``while self.step(): ...`` with the same
+        guards, but substantially faster: the heap and pop are locals and
+        whole same-time batches are dispatched without touching the heap.
+
+        If a callback raises, the exception propagates and the queue must
+        be treated as spent: same-instant events that already fired may be
+        replayed by a subsequent drain.  (Every harness in this repo
+        abandons the network after a callback exception.)
+        """
+        heap = self._heap
+        buckets = self._buckets
+        pop = heapq.heappop
+        self.halted = False
+        events = 0
+        limit = max_events if max_events is not None else -1
+        if limit == 0:
+            return ("max_events", 0)
+        try:
+            while heap:
+                when, _, bucket = heap[0]
+                if when > max_time:
+                    return ("max_time", events)
+                self.now = when
+                i = bucket[0]
+                n = len(bucket)
+                # Outer while: a callback scheduling at the current
+                # instant appends past the n snapshot; re-checking len
+                # once per snapshot batch picks those up within this
+                # drain (append order == firing order, as required).
+                while i < n:
+                    while i < n:
+                        fn = bucket[i]
+                        args = bucket[i + 1]
+                        i += 2
+                        fn(*args)
+                        events += 1
+                        if events == limit or (check_halt and self.halted):
+                            bucket[0] = i
+                            if i == len(bucket):
+                                pop(heap)
+                                if buckets.get(when) is bucket:
+                                    del buckets[when]
+                            if self.halted:
+                                return ("halted", events)
+                            return ("max_events", events)
+                    n = len(bucket)
+                # Batch exhausted: it is still the heap front (nothing
+                # earlier can have been scheduled), so pop directly.
+                pop(heap)
+                del buckets[when]
+            return ("empty", events)
+        finally:
+            # One batched update instead of a per-event decrement; the
+            # finally keeps the count consistent even when a callback
+            # raises out of the loop.
+            self._size -= events

@@ -202,6 +202,9 @@ class Network:
             self.metrics.comm_cost + weight * size > self.comm_budget
         ):
             self.budget_exhausted = True
+            # Also halt the event queue's fast drain loop (run() probes
+            # this flag after every event when a budget is configured).
+            self.queue.halted = True
             return
         self.metrics.record_message(weight, size, tag or self.default_tag)
         if self.trace is not None:
@@ -224,8 +227,10 @@ class Network:
         # meaningful cost-sensitive quantity.
         self._channel_clear[channel] = arrive
         if self.faults is None:
-            self.queue.schedule_at(arrive,
-                                   lambda: self._deliver(frm, to, payload))
+            # schedule_call_at stores (fn, args) in the event's slots: no
+            # capturing closure is allocated per message, and same-time
+            # deliveries batch into one heap entry (see sim.events).
+            self.queue.schedule_call_at(arrive, self._deliver, frm, to, payload)
             return
         fate, deliveries = self.faults.fate(frm, to, weight, payload,
                                             self.fault_rng)
@@ -234,9 +239,8 @@ class Network:
         for extra, out_payload in deliveries:
             # Extra adversarial delay (duplicates, reorders) bypasses the
             # FIFO clamp on purpose: later messages may overtake.
-            self.queue.schedule_at(
-                arrive + extra,
-                lambda p=out_payload: self._deliver(frm, to, p),
+            self.queue.schedule_call_at(
+                arrive + extra, self._deliver, frm, to, out_payload
             )
 
     def _deliver(self, frm: Vertex, to: Vertex, payload: Any) -> None:
@@ -249,7 +253,7 @@ class Network:
 
     def _set_node_timer(self, node: Vertex, delay: float,
                         callback: Callable[[], None]) -> None:
-        self.queue.schedule(delay, lambda: self._timer_fire(node, callback))
+        self.queue.schedule_call(delay, self._timer_fire, node, callback)
 
     def _timer_fire(self, node: Vertex, callback: Callable[[], None]) -> None:
         if node in self._down:
@@ -312,27 +316,43 @@ class Network:
             for node, start, end in getattr(self.faults, "crashes", ()):
                 if node not in self.processes:
                     raise ValueError(f"crash window for unknown node {node!r}")
-                self.queue.schedule_at(start, lambda n=node: self._crash(n))
+                self.queue.schedule_call_at(start, self._crash, node)
                 if end is not None and end != float("inf"):
-                    self.queue.schedule_at(end, lambda n=node: self._recover(n))
+                    self.queue.schedule_call_at(end, self._recover, node)
         for proc in self.processes.values():
             proc.on_start()
-        events = 0
         status = "quiescent"
-        while self.queue:
-            if self.budget_exhausted:
-                break
-            if stop_when is not None and stop_when(self):
-                status = "stopped"
-                break
-            if self.queue.peek_time() > max_time:
+        if stop_when is None:
+            # Fast path: let the queue drain itself in one tight loop.
+            # The halt probe is only needed when a budget can suppress
+            # sends mid-run (the only thing that halts the queue).
+            reason, _ = self.queue.run(
+                max_time=max_time,
+                max_events=max_events,
+                check_halt=self.comm_budget is not None,
+            )
+            if reason == "max_events":
+                raise RuntimeError(
+                    f"exceeded {max_events} events; runaway protocol?")
+            if reason == "max_time":
                 status = "max_time"
-                break
-            if not self.queue.step():
-                break
-            events += 1
-            if events >= max_events:
-                raise RuntimeError(f"exceeded {max_events} events; runaway protocol?")
+        else:
+            events = 0
+            while self.queue:
+                if self.budget_exhausted:
+                    break
+                if stop_when(self):
+                    status = "stopped"
+                    break
+                if self.queue.peek_time() > max_time:
+                    status = "max_time"
+                    break
+                if not self.queue.step():
+                    break
+                events += 1
+                if events >= max_events:
+                    raise RuntimeError(
+                        f"exceeded {max_events} events; runaway protocol?")
         if self.budget_exhausted:
             status = "budget_exhausted"
         # Note: quiescing without meeting stop_when is not an error at this

@@ -1,0 +1,128 @@
+"""Property-based determinism: same inputs, byte-identical outcomes.
+
+The whole experiment layer rests on runs being pure functions of
+(graph, seed, fault plan).  These tests pin that down three ways:
+
+* every chaos-matrix protocol, run twice from scratch with the same
+  inputs, produces a byte-identical metrics fingerprint (costs, counts,
+  per-tag buckets, fault counters, status, answer);
+* the parallel sweep engine returns the exact rows of the serial path
+  (and of the legacy in-process ``chaos_matrix``), regardless of worker
+  count;
+* the EventQueue fires a randomized interleaving of schedule calls in
+  the identical order on replay.
+"""
+
+import pytest
+
+from repro.experiments.chaos import chaos_matrix, make_cases
+from repro.experiments.parallel import chaos_rows, summarize_chaos_entry
+from repro.faults import FaultPlan, run_chaos
+from repro.sim.events import EventQueue
+
+PROTOCOLS = ("broadcast", "convergecast", "dfs", "mst_ghs", "global_fn(slt)")
+
+
+def _chaos_fingerprint(protocol: str, *, drop: float, reliable: bool) -> bytes:
+    """Run one protocol under one fault plan, from scratch, and flatten
+    everything observable to bytes."""
+    case = {c.name: c for c in make_cases(10, 12, 4)}[protocol]
+    plan = FaultPlan.message_loss(drop, seed=13) if drop > 0 else None
+    outcome = run_chaos(case.graph, case.factory, plan=plan,
+                        reliable=reliable, watchdog_time=1e6,
+                        answer=case.answer)
+    m = outcome.result.metrics if outcome.result else None
+    return repr((
+        outcome.status,
+        outcome.answer,
+        outcome.ack_cost, outcome.retry_cost, outcome.retry_count,
+        outcome.result.status if outcome.result else None,
+        (m.comm_cost, m.message_count, m.completion_time,
+         m.last_finish_time,
+         sorted(m.cost_by_tag.items()),
+         sorted(m.count_by_tag.items()),
+         sorted(m.fault_counts.items())) if m else None,
+    )).encode()
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("drop,reliable", [(0.0, False), (0.2, True)])
+def test_same_inputs_byte_identical_outcome(protocol, drop, reliable):
+    first = _chaos_fingerprint(protocol, drop=drop, reliable=reliable)
+    second = _chaos_fingerprint(protocol, drop=drop, reliable=reliable)
+    assert first == second
+
+
+def test_serial_and_parallel_sweeps_merge_identically():
+    kw = dict(n=10, extra_edges=12, graph_seed=4, drop_rates=(0.0, 0.2))
+    serial = chaos_rows(jobs=1, **kw)
+    parallel = chaos_rows(jobs=2, **kw)
+    assert serial == parallel
+
+
+def test_engine_rows_match_legacy_chaos_matrix():
+    legacy = [
+        summarize_chaos_entry(e)
+        for e in chaos_matrix(make_cases(10, 12, 4), drop_rates=(0.0, 0.2))
+    ]
+    engine = chaos_rows(jobs=1, n=10, extra_edges=12, graph_seed=4,
+                        drop_rates=(0.0, 0.2))
+    assert legacy == engine
+
+
+def test_parallel_sweep_covers_all_protocols_and_rates():
+    rows = chaos_rows(jobs=2, n=10, extra_edges=12, graph_seed=4,
+                      drop_rates=(0.0, 0.2))
+    combos = {(r["protocol"], r["drop"], r["reliable"]) for r in rows}
+    for proto in PROTOCOLS:
+        assert (proto, 0.0, True) in combos
+        assert (proto, 0.2, True) in combos
+        assert (proto, 0.2, False) in combos
+    # Reliable runs complete with the fault-free answer (status "ok").
+    assert all(r["status"] == "ok" for r in rows if r["reliable"])
+
+
+def _random_interleaving_trace(seed: int) -> list:
+    """Drive the queue with a seeded random mix of all four scheduling
+    entry points, interrupted drains, and same-time storms; return the
+    firing order."""
+    import random
+
+    rng = random.Random(seed)
+    q = EventQueue()
+    fired = []
+    counter = [0]
+
+    def make(i):
+        return lambda: fired.append(i)
+
+    def note(i):
+        fired.append(i)
+
+    for _ in range(40):
+        for _ in range(rng.randrange(1, 6)):
+            i = counter[0]
+            counter[0] += 1
+            kind = rng.randrange(4)
+            delay = rng.choice([0.0, 0.5, 1.0, 1.0, 2.5])
+            if kind == 0:
+                q.schedule(delay, make(i))
+            elif kind == 1:
+                q.schedule_at(q.now + delay, make(i))
+            elif kind == 2:
+                q.schedule_call(delay, note, i)
+            else:
+                q.schedule_call_at(q.now + delay, note, i)
+        # Randomly drain a bounded slice or everything, so interleavings
+        # also cross interrupted-run boundaries.
+        if rng.random() < 0.5:
+            q.run(max_events=rng.randrange(1, 5))
+        else:
+            q.run()
+    q.run()
+    return fired
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+def test_event_queue_replay_is_identical(seed):
+    assert _random_interleaving_trace(seed) == _random_interleaving_trace(seed)

@@ -1,0 +1,166 @@
+"""Regression tests for simultaneous-event ordering in the EventQueue.
+
+The original queue had an ordering ambiguity around
+``schedule_at(when == now)``: once the heap had fully drained, a
+subsequent ``schedule_at`` at the current instant competed with
+``schedule``-based entries only through the tie-breaking sequence number,
+which an alternative implementation could easily get wrong.  These tests
+pin the contract: **simultaneous events fire in scheduling order, across
+every entry point and every drain boundary** — including events appended
+to the batch currently being drained.
+"""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+def test_schedule_and_schedule_at_interleave_in_scheduling_order():
+    q = EventQueue()
+    fired = []
+    # Interleave all four entry points at one timestamp (t=1.0).
+    q.schedule(1.0, lambda: fired.append("a"))
+    q.schedule_at(1.0, lambda: fired.append("b"))
+    q.schedule_call(1.0, fired.append, "c")
+    q.schedule_call_at(1.0, fired.append, "d")
+    q.schedule(1.0, lambda: fired.append("e"))
+    q.run()
+    assert fired == ["a", "b", "c", "d", "e"]
+
+
+def test_schedule_at_now_after_drained_heap_fires_in_order():
+    q = EventQueue()
+    fired = []
+    q.schedule(2.0, lambda: fired.append("first"))
+    q.run()
+    assert q.now == 2.0 and len(q) == 0
+    # The heap is empty and now == 2.0; schedule at the *current* instant
+    # through both absolute entry points, interleaved with relative ones.
+    q.schedule_at(2.0, lambda: fired.append("x"))
+    q.schedule(0.0, lambda: fired.append("y"))
+    q.schedule_call_at(2.0, fired.append, "z")
+    q.schedule_call(0.0, fired.append, "w")
+    q.run()
+    assert fired == ["first", "x", "y", "z", "w"]
+
+
+def test_callback_scheduling_at_now_joins_current_batch():
+    q = EventQueue()
+    fired = []
+
+    def first():
+        fired.append("first")
+        # Appended mid-drain at the same instant: must fire in this drain,
+        # after everything already queued at t=1.
+        q.schedule_at(q.now, lambda: fired.append("late"))
+
+    q.schedule(1.0, first)
+    q.schedule(1.0, lambda: fired.append("second"))
+    q.run()
+    assert fired == ["first", "second", "late"]
+
+
+def test_ordering_identical_between_step_and_run():
+    def build():
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append(0))
+        q.schedule_at(1.0, lambda: fired.append(1))
+        q.schedule(0.5, lambda: fired.append(2))
+        q.schedule_call(1.0, fired.append, 3)
+        q.schedule_call_at(0.5, fired.append, 4)
+        return q, fired
+
+    q1, via_run = build()
+    q1.run()
+    q2, via_step = build()
+    while q2.step():
+        pass
+    assert via_run == via_step == [2, 4, 0, 1, 3]
+
+
+def test_interrupted_run_resumes_in_order():
+    q = EventQueue()
+    fired = []
+    for i in range(6):
+        q.schedule_call(1.0, fired.append, i)
+    reason, n = q.run(max_events=2)
+    assert (reason, n) == ("max_events", 2)
+    assert fired == [0, 1]
+    assert len(q) == 4
+    # New same-time arrivals queue *after* the not-yet-fired remainder.
+    q.schedule_call_at(1.0, fired.append, 6)
+    q.run()
+    assert fired == [0, 1, 2, 3, 4, 5, 6]
+
+
+def test_step_after_interrupted_run_keeps_order():
+    q = EventQueue()
+    fired = []
+    for i in range(4):
+        q.schedule_call(1.0, fired.append, i)
+    q.run(max_events=3)
+    assert fired == [0, 1, 2]
+    assert q.step() is True
+    assert fired == [0, 1, 2, 3]
+    assert q.step() is False
+
+
+def test_max_time_boundary_semantics():
+    q = EventQueue()
+    fired = []
+    q.schedule_call(1.0, fired.append, "at")
+    q.schedule_call(1.0 + 1e-9, fired.append, "past")
+    reason, n = q.run(max_time=1.0)
+    assert (reason, n) == ("max_time", 1)
+    assert fired == ["at"]          # events exactly at the deadline fire
+    assert len(q) == 1              # the later one stays queued
+    assert q.peek_time() == 1.0 + 1e-9
+    q.run()
+    assert fired == ["at", "past"]
+
+
+def test_halt_stops_after_current_event():
+    q = EventQueue()
+    fired = []
+
+    def halter():
+        fired.append("halter")
+        q.halted = True
+
+    q.schedule_call(1.0, fired.append, "before")
+    q.schedule(1.0, halter)
+    q.schedule_call(1.0, fired.append, "after")
+    reason, n = q.run()
+    assert (reason, n) == ("halted", 2)
+    assert fired == ["before", "halter"]
+    q.run()
+    assert fired == ["before", "halter", "after"]
+
+
+def test_negative_and_past_scheduling_rejected():
+    q = EventQueue()
+    q.schedule_call(1.0, lambda: None)
+    q.run()
+    with pytest.raises(ValueError):
+        q.schedule(-0.5, lambda: None)
+    with pytest.raises(ValueError):
+        q.schedule_call(-0.5, lambda: None)
+    with pytest.raises(ValueError):
+        q.schedule_at(q.now - 0.5, lambda: None)
+    with pytest.raises(ValueError):
+        q.schedule_call_at(q.now - 0.5, lambda: None)
+
+
+def test_len_and_peek_track_bucketed_entries():
+    q = EventQueue()
+    assert len(q) == 0 and not q and q.peek_time() is None
+    q.schedule_call(1.0, lambda: None)
+    q.schedule_call(1.0, lambda: None)  # same bucket
+    q.schedule_call(2.0, lambda: None)
+    assert len(q) == 3 and bool(q)
+    assert q.peek_time() == 1.0
+    q.run(max_events=1)
+    assert len(q) == 2
+    q.run()
+    assert len(q) == 0 and q.peek_time() is None
