@@ -13,11 +13,20 @@ revision leaves a comparable perf record:
    closures and all) and once through the current
    :class:`repro.sim.events.EventQueue` drained by :meth:`run`.  Reported
    as events/sec per shape plus aggregate speedup.
-2. **Network throughput** — a flooding broadcast on a pinned random
+2. **Graph-kernel micro-bench** — the paper's parameter computations
+   (all-sources eccentricities/diameter, max neighbor distance, Prim and
+   Kruskal MSTs) on pinned graph shapes, dict-of-dicts reference
+   algorithms vs the flat-array CSR kernels (:mod:`repro.graphs.csr`,
+   CSR build included in its timing).  Results are asserted equal before
+   anything is reported.
+3. **Network throughput** — a flooding broadcast on a pinned random
    graph, reported as messages/sec and events/sec end to end.
-3. **Chaos sweep** — the chaos matrix via the parallel engine, serial vs
-   ``--jobs N``, asserting the merged rows are identical and reporting
-   both wall times.
+4. **Chaos sweep** — the chaos matrix through the sweep engine: serial
+   reference, the engine's own plan at ``--jobs N``, the forced
+   persistent pool (cold and warm), and a reconstruction of the
+   pre-optimization pool path (fresh executor per call, chunksize 1, no
+   warm-up) — asserting all row lists are identical and reporting every
+   wall time.
 
 Usage::
 
@@ -25,6 +34,14 @@ Usage::
     python scripts/bench.py --quick         # CI smoke (seconds, tiny sizes)
     python scripts/bench.py --jobs 4        # parallel sweep worker count
     python scripts/bench.py --out out.json  # explicit output path
+    python scripts/bench.py --compare BENCH_<rev>.json   # regression gate
+
+``--compare`` diffs the fresh run against a prior artifact over every
+shared self-normalized metric (per-shape event-queue speedups, kernel
+speedups, sweep speedup, network throughput) and exits non-zero when the
+geomean ratio falls more than ``--tolerance`` (default 10%) below the
+baseline.  Metrics only one side has (e.g. a new bench section) are
+skipped, so the gate survives adding sections.
 
 Measurements interleave baseline/current repetitions and keep the minimum
 per side, which is robust against the noisy shared machines CI runs on.
@@ -45,12 +62,26 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from concurrent.futures import ProcessPoolExecutor  # noqa: E402
+
 from repro.experiments.parallel import (  # noqa: E402
     chaos_cells,
     run_chaos_cell,
     run_parallel,
+    shutdown_pool,
 )
-from repro.graphs import random_connected_graph  # noqa: E402
+from repro.graphs import (  # noqa: E402
+    dijkstra,
+    grid_graph,
+    random_connected_graph,
+)
+from repro.graphs.csr import (  # noqa: E402
+    CSRGraph,
+    all_sources_scan,
+    csr_kruskal_mst,
+    csr_prim_mst,
+)
+from repro.graphs.mst import kruskal_mst_dicts, prim_mst_dicts  # noqa: E402
 from repro.protocols.broadcast import FloodProcess  # noqa: E402
 from repro.sim.events import EventQueue  # noqa: E402
 from repro.sim.network import Network  # noqa: E402
@@ -320,6 +351,89 @@ def bench_event_queue(reps: int, quick: bool) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Graph-kernel micro-bench (dict reference vs CSR)
+# --------------------------------------------------------------------- #
+
+
+def _dict_scan(graph):
+    """The pre-CSR parameter pass: one dict Dijkstra per source, then the
+    edge sweep for the max neighbor distance (what ``GraphParamCache``
+    used to run).  Returns ``(ecc, diameter, max_nbr)``."""
+    n = graph.num_vertices
+    ecc = {}
+    dists = {}
+    for s in graph.vertices:
+        dist, _ = dijkstra(graph, s)
+        dists[s] = dist
+        ecc[s] = max(dist.values()) if len(dist) == n else float("inf")
+    diameter = max(ecc.values()) if ecc else 0.0
+    max_nbr = 0.0
+    for u, v, _ in graph.edges():
+        d = dists[u].get(v, float("inf"))
+        if d > max_nbr:
+            max_nbr = d
+    return ecc, diameter, max_nbr
+
+
+def _kernel_graphs(quick: bool) -> dict:
+    """Pinned shapes: integer random weights, and two unit-weight
+    (maximally tie-heavy) topologies that stress tie-breaking identity."""
+    if quick:
+        return {
+            "random_sparse": random_connected_graph(48, 96, seed=13),
+            "grid": grid_graph(7, 7),
+            "random_dense": random_connected_graph(24, 120, seed=17),
+        }
+    return {
+        "random_sparse": random_connected_graph(192, 384, seed=13),
+        "grid": grid_graph(14, 14),
+        "random_dense": random_connected_graph(96, 2000, seed=17),
+    }
+
+
+def bench_graph_kernels(reps: int, quick: bool) -> dict:
+    shapes = {}
+    for name, graph in _kernel_graphs(quick).items():
+        best_dict = best_csr = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            d_ecc, d_diam, d_nbr = _dict_scan(graph)
+            d_prim = prim_mst_dicts(graph)
+            d_kruskal = kruskal_mst_dicts(graph)
+            best_dict = min(best_dict, time.perf_counter() - t0)
+
+            t0 = time.perf_counter()
+            csr = CSRGraph(graph)  # build is part of the kernel cost
+            scan = all_sources_scan(csr)
+            c_prim = csr_prim_mst(csr)
+            c_kruskal = csr_kruskal_mst(csr)
+            best_csr = min(best_csr, time.perf_counter() - t0)
+
+        c_ecc = dict(zip(csr.verts, scan.ecc))
+        assert d_ecc == c_ecc, (name, "eccentricities differ")
+        assert d_diam == scan.diameter, (name, "diameter differs")
+        assert d_nbr == scan.max_neighbor_distance, (name, "max nbr differs")
+        assert list(d_prim.edges()) == list(c_prim.edges()), \
+            (name, "prim MST differs")
+        assert list(d_kruskal.edges()) == list(c_kruskal.edges()), \
+            (name, "kruskal differs")
+
+        shapes[name] = {
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "dict_s": best_dict,
+            "csr_s": best_csr,
+            "speedup": best_dict / best_csr,
+        }
+    speedups = [s["speedup"] for s in shapes.values()]
+    geomean = 1.0
+    for s in speedups:
+        geomean *= s
+    geomean **= 1.0 / len(speedups)
+    return {"shapes": shapes, "aggregate": {"geomean_speedup": geomean}}
+
+
+# --------------------------------------------------------------------- #
 # Network + sweep benches
 # --------------------------------------------------------------------- #
 
@@ -345,6 +459,14 @@ def bench_network(reps: int, quick: bool) -> dict:
     }
 
 
+def _legacy_pool_map(fn, cells, jobs):
+    """The pre-optimization parallel path: a fresh executor per call,
+    chunksize 1, no worker warm-up — every call re-pays pool spin-up and
+    every worker rebuilds its reference runs from scratch."""
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, cells, chunksize=1))
+
+
 def bench_chaos_sweep(jobs: int, quick: bool) -> dict:
     if quick:
         per_seed = dict(n=10, extra_edges=12, drop_rates=(0.0, 0.2))
@@ -355,22 +477,122 @@ def bench_chaos_sweep(jobs: int, quick: bool) -> dict:
     cells = []
     for gs in graph_seeds:
         cells += chaos_cells(graph_seed=gs, **per_seed)
-    run_parallel(run_chaos_cell, cells, jobs=1)  # warm case/reference memos
+    warm = tuple((per_seed["n"], per_seed["extra_edges"], gs, None)
+                 for gs in graph_seeds)
+
+    run_parallel(run_chaos_cell, cells, jobs=1)  # warm in-process memos
     t0 = time.perf_counter()
-    serial = run_parallel(run_chaos_cell, cells, jobs=1)
+    serial = run_parallel(run_chaos_cell, cells, force="serial")
     serial_s = time.perf_counter() - t0
+
+    # The engine's own plan (may legitimately choose serial on small
+    # hosts — that fallback is the optimization under test there).
     t0 = time.perf_counter()
-    parallel = run_parallel(run_chaos_cell, cells, jobs=jobs)
-    parallel_s = time.perf_counter() - t0
+    engine = run_parallel(run_chaos_cell, cells, jobs=jobs, warm=warm)
+    engine_s = time.perf_counter() - t0
+
+    # The real pool path, forced: cold (spin-up + warm init included),
+    # then reusing the persistent workers.
+    shutdown_pool()
+    t0 = time.perf_counter()
+    pool_cold = run_parallel(run_chaos_cell, cells, jobs=jobs, warm=warm,
+                             force="pool")
+    pool_cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    pool_warm = run_parallel(run_chaos_cell, cells, jobs=jobs, warm=warm,
+                             force="pool")
+    pool_warm_s = time.perf_counter() - t0
+    shutdown_pool()
+
+    t0 = time.perf_counter()
+    legacy = _legacy_pool_map(run_chaos_cell, cells, jobs)
+    legacy_pool_s = time.perf_counter() - t0
+
     return {
         "rows": len(serial),
         "graph_seeds": list(graph_seeds),
         "jobs": jobs,
         "serial_s": serial_s,
-        "parallel_s": parallel_s,
-        "speedup": serial_s / parallel_s if parallel_s else float("inf"),
-        "identical": serial == parallel,
+        "engine_s": engine_s,
+        "parallel_s": engine_s,  # legacy key: trajectory continuity
+        "pool_cold_s": pool_cold_s,
+        "pool_warm_s": pool_warm_s,
+        "legacy_pool_s": legacy_pool_s,
+        "speedup": serial_s / engine_s if engine_s else float("inf"),
+        "pool_vs_legacy": legacy_pool_s / pool_warm_s
+        if pool_warm_s else float("inf"),
+        "identical": serial == engine == pool_cold == pool_warm == legacy,
     }
+
+
+# --------------------------------------------------------------------- #
+# Regression compare
+# --------------------------------------------------------------------- #
+
+
+def comparable_metrics(report: dict) -> dict:
+    """Flatten a bench report to the higher-is-better metrics worth
+    diffing across revisions: self-normalized speedups plus the one raw
+    throughput rate (same-machine artifacts only, as in CI)."""
+    m = {}
+    eq = report.get("event_queue", {})
+    for name, s in eq.get("shapes", {}).items():
+        m[f"event_queue/{name}/speedup"] = s["speedup"]
+    if "aggregate" in eq:
+        m["event_queue/geomean_speedup"] = eq["aggregate"]["geomean_speedup"]
+    gk = report.get("graph_kernels", {})
+    for name, s in gk.get("shapes", {}).items():
+        m[f"graph_kernels/{name}/speedup"] = s["speedup"]
+    if "aggregate" in gk:
+        m["graph_kernels/geomean_speedup"] = gk["aggregate"]["geomean_speedup"]
+    net = report.get("network", {})
+    if "messages_per_s" in net:
+        m["network/messages_per_s"] = net["messages_per_s"]
+    cs = report.get("chaos_sweep", {})
+    if "speedup" in cs:
+        m["chaos_sweep/speedup"] = cs["speedup"]
+    return m
+
+
+def compare_reports(current: dict, baseline: dict,
+                    tolerance: float = 0.10) -> tuple[bool, float, dict]:
+    """Diff two reports; return ``(ok, geomean_ratio, per_metric_ratios)``.
+
+    Only metrics present in *both* reports count (new bench sections
+    don't trip the gate); the gate fails when the geomean of
+    current/baseline ratios drops below ``1 - tolerance``.
+    """
+    cur = comparable_metrics(current)
+    base = comparable_metrics(baseline)
+    ratios = {}
+    for key, value in cur.items():
+        prior = base.get(key)
+        if prior and prior > 0 and value > 0:
+            ratios[key] = value / prior
+    if not ratios:
+        return True, 1.0, {}
+    geomean = 1.0
+    for r in ratios.values():
+        geomean *= r
+    geomean **= 1.0 / len(ratios)
+    return geomean >= 1.0 - tolerance, geomean, ratios
+
+
+def run_compare(report: dict, baseline_path: Path, tolerance: float) -> bool:
+    baseline = json.loads(baseline_path.read_text())
+    if bool(report.get("quick")) != bool(baseline.get("quick")):
+        print(f"WARNING: comparing quick={report.get('quick')} run against "
+              f"quick={baseline.get('quick')} baseline; sizes differ",
+              file=sys.stderr)
+    ok, geomean, ratios = compare_reports(report, baseline, tolerance)
+    print(f"compare vs {baseline_path.name} "
+          f"(rev {baseline.get('rev', '?')}, tolerance {tolerance:.0%}):")
+    for key in sorted(ratios):
+        flag = "" if ratios[key] >= 1.0 - tolerance else "  <-- regression"
+        print(f"  {key:40s} x{ratios[key]:.3f}{flag}")
+    print(f"  {'geomean':40s} x{geomean:.3f}  "
+          f"{'OK' if ok else 'REGRESSION'}")
+    return ok
 
 
 # --------------------------------------------------------------------- #
@@ -398,6 +620,12 @@ def main(argv: list[str] | None = None) -> int:
                     help="repetitions per measurement (min is kept)")
     ap.add_argument("--out", type=Path, default=None,
                     help="output path (default BENCH_<rev>.json in repo root)")
+    ap.add_argument("--compare", type=Path, default=None,
+                    help="prior BENCH_<rev>.json to diff against; exits "
+                         "non-zero on geomean regression beyond --tolerance")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed geomean regression for --compare "
+                         "(default 0.10 = 10%%)")
     args = ap.parse_args(argv)
 
     reps = args.reps if args.reps is not None else (3 if args.quick else 7)
@@ -410,6 +638,7 @@ def main(argv: list[str] | None = None) -> int:
         "quick": args.quick,
         "reps": reps,
         "event_queue": bench_event_queue(reps, args.quick),
+        "graph_kernels": bench_graph_kernels(reps, args.quick),
         "network": bench_network(reps, args.quick),
         "chaos_sweep": bench_chaos_sweep(args.jobs, args.quick),
     }
@@ -426,17 +655,29 @@ def main(argv: list[str] | None = None) -> int:
     agg = eq["aggregate"]
     print(f"{'aggregate':12s} {agg['total_events']:>8d} ev  "
           f"speedup x{agg['speedup']:.2f}  (geomean x{agg['geomean_speedup']:.2f})")
+    gk = report["graph_kernels"]
+    for name, s in gk["shapes"].items():
+        print(f"kernel {name:14s} n={s['n']:<4d} m={s['m']:<5d} "
+              f"dict {s['dict_s'] * 1e3:>8.2f}ms  csr {s['csr_s'] * 1e3:>8.2f}ms  "
+              f"x{s['speedup']:.2f}")
+    print(f"kernel geomean x{gk['aggregate']['geomean_speedup']:.2f}")
     net = report["network"]
     print(f"network flood: {net['messages']} msgs, "
           f"{net['messages_per_s']:,.0f} msgs/s")
     cs = report["chaos_sweep"]
     print(f"chaos sweep: {cs['rows']} rows, serial {cs['serial_s']:.2f}s, "
-          f"jobs={cs['jobs']} {cs['parallel_s']:.2f}s "
-          f"(x{cs['speedup']:.2f}), identical={cs['identical']}")
+          f"engine jobs={cs['jobs']} {cs['engine_s']:.2f}s (x{cs['speedup']:.2f}), "
+          f"pool cold {cs['pool_cold_s']:.2f}s / warm {cs['pool_warm_s']:.2f}s, "
+          f"legacy pool {cs['legacy_pool_s']:.2f}s "
+          f"(pool vs legacy x{cs['pool_vs_legacy']:.2f}), "
+          f"identical={cs['identical']}")
     print(f"wrote {out}")
 
     if not cs["identical"]:
         print("FATAL: parallel sweep rows differ from serial", file=sys.stderr)
+        return 1
+    if args.compare is not None and not run_compare(report, args.compare,
+                                                    args.tolerance):
         return 1
     return 0
 

@@ -22,24 +22,43 @@ process boundary, so workers return flat summary rows
 path (``jobs=None``/``1``) runs the same worker in-process, so serial and
 parallel sweeps produce byte-identical row lists.
 
-Reconstruction cost is amortized per worker: each process memoizes the
-case suite and the fault-free reference runs (:func:`_cases_by_name`,
-:func:`_reference`), so a worker pays the graph/SLT construction once per
-distinct graph, not once per cell.
+**Amortization.**  Three layers keep per-cell overhead flat:
+
+* the worker pool is *persistent*: the first parallel call creates it and
+  later calls with the same ``(jobs, warm)`` shape reuse it, so pool
+  spin-up (fork + interpreter init per worker) is paid once per sweep
+  session instead of once per call (``shutdown_pool`` disposes it; an
+  ``atexit`` hook does so at interpreter exit);
+* each worker runs :func:`_worker_init` on startup, pre-building the case
+  suite and fault-free reference runs for every *warm spec* — one
+  ``(n, extra_edges, graph_seed, protocols)`` tuple per graph shape in
+  the sweep — so no cell ever pays graph/SLT construction inside its own
+  timing; anything not pre-warmed is still memoized on first use by the
+  ``lru_cache`` memos (:func:`_cases_by_name`, :func:`_reference`);
+* :func:`parallel_plan` picks the execution mode: serial when the pool
+  cannot pay for itself (``jobs <= 1``, a single cell, fewer than two
+  usable CPUs, or too few cells per worker), otherwise a chunksize sized
+  for ~4 dispatch waves per worker — big enough to amortize pickling,
+  small enough to keep workers balanced on skewed cell costs.
 """
 
 from __future__ import annotations
 
+import atexit
 import hashlib
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
 
 __all__ = [
     "cell_seed",
+    "parallel_plan",
     "run_parallel",
+    "shutdown_pool",
     "ChaosCell",
     "chaos_cells",
     "run_chaos_cell",
@@ -66,27 +85,139 @@ def cell_seed(master_seed: int, *key: Any) -> int:
     return int.from_bytes(digest[:8], "big") >> 1
 
 
+# Target number of map dispatch waves per worker when auto-chunking.
+_CHUNK_WAVES = 4
+
+# A pool only pays for itself when every worker gets at least this many
+# cells; below that, fork + pickle overhead beats the parallel win.
+_MIN_CELLS_PER_WORKER = 2
+
+# The one live pool, keyed by the (jobs, warm) shape that built it.
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_key: Optional[tuple] = None
+_atexit_registered = False
+
+
+def parallel_plan(
+    n_cells: int,
+    jobs: Optional[int],
+    *,
+    cpu_count: Optional[int] = None,
+) -> tuple[str, int]:
+    """Decide how to run ``n_cells``: ``("serial", 1)`` or ``("pool", chunksize)``.
+
+    Pure and deterministic given its inputs (``cpu_count`` defaults to
+    ``os.cpu_count()``), so the fallback policy is unit-testable without
+    spawning processes.  Serial is chosen whenever the pool cannot pay for
+    its spin-up: ``jobs`` unset or <= 1, a single cell, fewer than two
+    usable CPUs, or fewer than ``_MIN_CELLS_PER_WORKER`` cells per worker.
+    Otherwise the chunksize targets ~``_CHUNK_WAVES`` dispatch waves per
+    worker.
+    """
+    if jobs is None or jobs <= 1 or n_cells <= 1:
+        return ("serial", 1)
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if cpus < 2:
+        return ("serial", 1)
+    if n_cells < _MIN_CELLS_PER_WORKER * jobs:
+        return ("serial", 1)
+    return ("pool", max(1, n_cells // (jobs * _CHUNK_WAVES)))
+
+
+def _worker_init(warm: tuple = ()) -> None:
+    """Per-worker initializer: pre-build shared state for each warm spec.
+
+    Runs once in every pool process before it receives cells.  Each spec
+    is ``(n, extra_edges, graph_seed, protocols)`` — ``protocols=None``
+    warms every case of that graph shape.  Filling :func:`_cases_by_name`
+    and :func:`_reference` here moves graph construction, SLT building,
+    and the fault-free reference runs out of the first cell each worker
+    executes (they are by far the dominant per-cell setup cost).
+    """
+    for n, extra_edges, graph_seed, protocols in warm:
+        cases = _cases_by_name(n, extra_edges, graph_seed)
+        names = protocols if protocols is not None else tuple(cases)
+        for name in names:
+            _reference(n, extra_edges, graph_seed, name)
+
+
+def shutdown_pool() -> None:
+    """Dispose the persistent worker pool (no-op when none is live).
+
+    Tests use this to force a fresh pool (e.g. to observe the warm
+    initializer); an ``atexit`` hook calls it so interpreter shutdown
+    never hangs on live workers.
+    """
+    global _pool, _pool_key
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+        _pool_key = None
+
+
+def _get_pool(jobs: int, warm: tuple) -> ProcessPoolExecutor:
+    """The persistent pool for ``(jobs, warm)``, (re)creating on shape change."""
+    global _pool, _pool_key, _atexit_registered
+    key = (jobs, warm)
+    if _pool is not None and _pool_key != key:
+        shutdown_pool()
+    if _pool is None:
+        _pool = ProcessPoolExecutor(
+            max_workers=jobs, initializer=_worker_init, initargs=(warm,)
+        )
+        _pool_key = key
+        if not _atexit_registered:
+            atexit.register(shutdown_pool)
+            _atexit_registered = True
+    return _pool
+
+
 def run_parallel(
     fn: Callable[[_T], _R],
     cells: Iterable[_T],
     *,
     jobs: Optional[int] = None,
-    chunksize: int = 1,
+    chunksize: Optional[int] = None,
+    warm: tuple = (),
+    force: Optional[str] = None,
 ) -> list[_R]:
-    """Map ``fn`` over ``cells``, optionally across a process pool.
+    """Map ``fn`` over ``cells``, sharding across the persistent pool.
 
     ``jobs=None``/``0``/``1`` runs serially in-process (no pool, no
     pickling) — the reference path the parallel one must match.  With
-    ``jobs > 1``, cells are sharded across ``jobs`` worker processes;
-    ``fn`` and each cell must be picklable (module-level function, frozen
-    dataclass cells).  Results always come back in cell order, so callers
-    can merge by concatenation.
+    ``jobs > 1`` the :func:`parallel_plan` policy decides whether a pool
+    can pay for itself; when it can, cells are sharded across the
+    persistent ``jobs``-worker pool (created on first use, reused across
+    calls, workers pre-warmed per ``warm`` spec).  ``fn`` and each cell
+    must then be picklable (module-level function, frozen dataclass
+    cells).  Results always come back in cell order, so callers can merge
+    by concatenation.
+
+    ``chunksize=None`` uses the plan's adaptive chunksize.  ``force``
+    overrides the plan: ``"serial"`` never touches a pool, ``"pool"``
+    shards even when the plan would fall back (benchmarks and tests use
+    it to exercise the real pool path regardless of host CPU count).  If
+    the pool's workers die mid-map (``BrokenProcessPool``), the pool is
+    disposed and the whole map re-runs serially — cells are pure
+    functions of their description, so a re-run is byte-identical.
     """
     cells = list(cells)
-    if jobs is None or jobs <= 1 or len(cells) <= 1:
+    if force not in (None, "serial", "pool"):
+        raise ValueError(f"force must be None, 'serial', or 'pool': {force!r}")
+    if force == "pool":
+        workers = jobs if jobs and jobs > 1 else 2
+        mode, auto_chunk = "pool", max(1, len(cells) // (workers * _CHUNK_WAVES))
+    else:
+        workers = jobs or 0
+        mode, auto_chunk = parallel_plan(len(cells), jobs)
+    if force == "serial" or mode == "serial":
         return [fn(c) for c in cells]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(fn, cells, chunksize=chunksize))
+    pool = _get_pool(workers, tuple(warm))
+    try:
+        return list(pool.map(fn, cells, chunksize=chunksize or auto_chunk))
+    except BrokenProcessPool:
+        shutdown_pool()
+        return [fn(c) for c in cells]
 
 
 # --------------------------------------------------------------------- #
@@ -228,17 +359,22 @@ def chaos_rows(
     drop_rates: Sequence[float] = (0.0, 0.05, 0.2),
     fault_seed: int = 7,
     include_raw: bool = True,
+    force: Optional[str] = None,
 ) -> list[dict]:
     """The chaos matrix as flat summary rows, optionally sharded.
 
     Serial (``jobs<=1``) and parallel runs return byte-identical lists:
     the same cells, executed by the same worker function, merged in the
-    same order.
+    same order.  Pool workers are pre-warmed with this sweep's graph
+    shape, so no cell pays suite/reference construction; ``force``
+    passes through to :func:`run_parallel`.
     """
     cells = chaos_cells(n=n, extra_edges=extra_edges, graph_seed=graph_seed,
                         drop_rates=drop_rates, fault_seed=fault_seed,
                         include_raw=include_raw)
-    return run_parallel(run_chaos_cell, cells, jobs=jobs)
+    warm = ((n, extra_edges, graph_seed, None),)
+    return run_parallel(run_chaos_cell, cells, jobs=jobs, warm=warm,
+                        force=force)
 
 
 # --------------------------------------------------------------------- #

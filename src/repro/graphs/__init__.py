@@ -4,6 +4,15 @@ Public surface of :mod:`repro.graphs`; every symbol here is stable API.
 """
 
 from .cache import GraphParamCache, param_cache
+from .csr import (
+    CSRGraph,
+    GraphScan,
+    all_sources_scan,
+    csr_kruskal_mst,
+    csr_of,
+    csr_prim_mst,
+    sssp_maps,
+)
 from .generators import (
     binary_tree,
     caterpillar_graph,
@@ -88,4 +97,12 @@ __all__ = [
     # cache
     "GraphParamCache",
     "param_cache",
+    # csr kernels
+    "CSRGraph",
+    "GraphScan",
+    "csr_of",
+    "sssp_maps",
+    "all_sources_scan",
+    "csr_prim_mst",
+    "csr_kruskal_mst",
 ]

@@ -8,32 +8,44 @@ that dominated sweep wall time.  :class:`GraphParamCache` memoizes them
 per :class:`~repro.graphs.weighted_graph.WeightedGraph` instance and
 invalidates automatically when the graph mutates.
 
+Since PR 3 the cache also owns the graph's flat-array snapshot
+(:class:`~repro.graphs.csr.CSRGraph`, built once per graph version) and
+computes every parameter through the CSR kernels instead of the
+dict-of-dicts algorithms: per-source shortest paths via
+:func:`~repro.graphs.csr.sssp_maps`, eccentricities/diameter/max
+neighbor distance via one batched :func:`~repro.graphs.csr.all_sources_scan`
+pass, and the MST via :func:`~repro.graphs.csr.csr_prim_mst`.  The
+kernels replay the dict path's iteration and tie-breaking order exactly,
+so every answer — including dict insertion order, MST edge order, and
+float rounding — is byte-identical to what the dict algorithms return
+(``tests/test_csr_kernels.py`` pins this).
+
 Invalidation contract (see docs/PERF.md):
 
 * every mutating ``WeightedGraph`` operation (``add_vertex``,
   ``add_edge``, ``remove_edge``) bumps the graph's ``version`` counter;
 * every cache accessor compares the stored version against the graph's
-  before answering and wipes all memoized state on mismatch — a stale
-  answer is therefore impossible as long as mutations go through the
-  ``WeightedGraph`` API (mutating ``_adj`` directly is out of contract);
+  before answering and wipes all memoized state — including the CSR
+  snapshot — on mismatch; a stale answer is therefore impossible as long
+  as mutations go through the ``WeightedGraph`` API (mutating ``_adj``
+  directly is out of contract);
 * cached aggregate values (floats, :class:`NetworkParams`) are immutable
   and safe to share; cached *structures* (the MST tree, shortest-path
-  dicts) are shared read-only views — callers must copy before mutating.
+  dicts, the CSR snapshot) are shared read-only views — callers must
+  copy before mutating.
 
 The cache attaches lazily to the graph instance (``param_cache(g)``), so
 its lifetime — and memory — is tied to the graph it describes.  Per-source
 shortest-path tables are cached only for the sources actually queried;
-whole-graph scans (:meth:`eccentricities`) stream their Dijkstra runs
-without retaining the per-source tables, keeping memory O(n) instead of
-O(n^2) on large graphs.
+the whole-graph scan keeps one O(n) result row (eccentricities plus two
+floats), never the O(n^2) distance matrix.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from .mst import prim_mst
-from .paths import dijkstra
+from .csr import CSRGraph, all_sources_scan, csr_prim_mst, sssp_maps
 from .weighted_graph import Vertex, WeightedGraph
 
 __all__ = ["GraphParamCache", "param_cache"]
@@ -43,9 +55,9 @@ class GraphParamCache:
     """Version-checked memo of one graph's weighted parameters."""
 
     __slots__ = (
-        "graph", "_version", "_sssp", "_ecc", "_mst", "_mst_weight",
-        "_diameter", "_max_nbr", "_params", "_connected",
-        "hits", "misses", "invalidations",
+        "graph", "_version", "_csrg", "_sssp", "_scan", "_ecc", "_mst",
+        "_mst_weight", "_params", "_connected",
+        "hits", "misses", "invalidations", "csr_builds",
     )
 
     def __init__(self, graph: WeightedGraph) -> None:
@@ -53,6 +65,7 @@ class GraphParamCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.csr_builds = 0
         self._wipe()
         self._version = graph.version
 
@@ -61,12 +74,12 @@ class GraphParamCache:
     # ------------------------------------------------------------------ #
 
     def _wipe(self) -> None:
+        self._csrg: Optional[CSRGraph] = None
         self._sssp: dict[Vertex, tuple[dict, dict]] = {}
+        self._scan = None  # GraphScan: ecc row + diameter + max nbr dist
         self._ecc: Optional[dict[Vertex, float]] = None
         self._mst: Optional[WeightedGraph] = None
         self._mst_weight: Optional[float] = None
-        self._diameter: Optional[float] = None
-        self._max_nbr: Optional[float] = None
         self._params = None
         self._connected: Optional[bool] = None
 
@@ -75,6 +88,22 @@ class GraphParamCache:
             self._wipe()
             self._version = self.graph.version
             self.invalidations += 1
+
+    # ------------------------------------------------------------------ #
+    # CSR snapshot
+    # ------------------------------------------------------------------ #
+
+    def csr(self) -> CSRGraph:
+        """The flat-array snapshot of the graph at its current version.
+
+        Built once per version and shared by every kernel below; treat it
+        as read-only (it is immutable by construction).
+        """
+        self._sync()
+        if self._csrg is None:
+            self._csrg = CSRGraph(self.graph)
+            self.csr_builds += 1
+        return self._csrg
 
     # ------------------------------------------------------------------ #
     # Shortest-path structure
@@ -92,9 +121,15 @@ class GraphParamCache:
             self.hits += 1
             return hit
         self.misses += 1
-        result = dijkstra(self.graph, source)
+        result = sssp_maps(self.csr(), source)
         self._sssp[source] = result
         return result
+
+    def _full_scan(self):
+        if self._scan is None:
+            self.misses += 1
+            self._scan = all_sources_scan(self.csr())
+        return self._scan
 
     def eccentricities(self) -> dict[Vertex, float]:
         """``Rad(v, G)`` for every vertex (inf where G is disconnected)."""
@@ -102,16 +137,9 @@ class GraphParamCache:
         if self._ecc is not None:
             self.hits += 1
             return self._ecc
-        self.misses += 1
-        g = self.graph
-        n = g.num_vertices
-        ecc: dict[Vertex, float] = {}
-        for v in g.vertices:
-            pair = self._sssp.get(v)
-            dist = pair[0] if pair is not None else dijkstra(g, v)[0]
-            ecc[v] = max(dist.values()) if len(dist) == n else float("inf")
-        self._ecc = ecc
-        return ecc
+        scan = self._full_scan()
+        self._ecc = dict(zip(self.csr().verts, scan.ecc))
+        return self._ecc
 
     def eccentricity(self, v: Vertex) -> float:
         return self.eccentricities()[v]
@@ -119,30 +147,16 @@ class GraphParamCache:
     def diameter(self) -> float:
         """script-D — the weighted diameter ``Diam(G)``."""
         self._sync()
-        if self._diameter is None:
-            self._diameter = max(self.eccentricities().values(), default=0.0)
-        else:
+        if self._scan is not None:
             self.hits += 1
-        return self._diameter
+        return self._full_scan().diameter
 
     def max_neighbor_distance(self) -> float:
         """``d = max_{(u,v) in E} dist(u, v)`` (clock-sync lower bound)."""
         self._sync()
-        if self._max_nbr is not None:
+        if self._scan is not None:
             self.hits += 1
-            return self._max_nbr
-        self.misses += 1
-        g = self.graph
-        best = 0.0
-        for u in g.vertices:
-            pair = self._sssp.get(u)
-            dist = pair[0] if pair is not None else dijkstra(g, u)[0]
-            for v in g.neighbors(u):
-                d = dist[v]
-                if d > best:
-                    best = d
-        self._max_nbr = best
-        return best
+        return self._full_scan().max_neighbor_distance
 
     # ------------------------------------------------------------------ #
     # Spanning structure
@@ -155,7 +169,7 @@ class GraphParamCache:
             self.hits += 1
             return self._mst
         self.misses += 1
-        self._mst = prim_mst(self.graph)
+        self._mst = csr_prim_mst(self.csr())
         return self._mst
 
     def mst_weight(self) -> float:
@@ -207,6 +221,7 @@ class GraphParamCache:
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "csr_builds": self.csr_builds,
             "sssp_sources": len(self._sssp),
         }
 

@@ -1,0 +1,473 @@
+"""Indexed flat-array graph core: CSR layout + array-based kernels.
+
+The dict-of-dicts :class:`~repro.graphs.weighted_graph.WeightedGraph` is
+the right *mutation* structure, but its traversal API pays a dict copy per
+neighborhood visit (``neighbor_weights``), boxed-key hashing per
+relaxation, and per-call closure/dict allocation — the dominant cost of
+the paper's weighted parameters (script-V via MST, script-D via all-pairs
+eccentricities, ``d`` via max neighbor distance), which each need ``n``
+Dijkstra runs or a whole-graph edge scan.
+
+:class:`CSRGraph` freezes one immutable snapshot of a graph in compressed
+sparse row form: vertices are interned to dense indices ``0..n-1`` (in
+insertion order, so every kernel below replays the dict path's iteration
+order exactly), adjacency lives in parallel ``indptr``/``indices``/
+``weights`` arrays, and the undirected edge list is captured once in
+``graph.edges()`` order for Kruskal.  Kernels operate on preallocated
+list buffers indexed by ``int`` — no hashing, no per-visit allocation:
+
+* :func:`sssp_into` — Dijkstra into caller-owned ``dist``/``parent``/
+  ``order`` buffers (``order`` records discovery order so buffers reset
+  in O(touched), and so dict views rebuild with the exact insertion
+  order of :func:`repro.graphs.paths.dijkstra`);
+* :func:`sssp_maps` — drop-in dict view of one source's run,
+  byte-identical to ``paths.dijkstra`` (same values, same tie-breaking,
+  same dict insertion order);
+* :func:`all_sources_scan` — eccentricities, diameter, and the max
+  neighbor distance ``d`` in a *single* batched pass over all sources,
+  reusing one scratch buffer set (the dict path pays two full all-source
+  sweeps for the same three quantities);
+* :func:`csr_prim_mst` — Prim over the flat adjacency, byte-identical to
+  :func:`repro.graphs.mst.prim_mst` (same tie sequence, same tree edge
+  insertion order, hence bit-equal ``total_weight()`` sums);
+* :func:`csr_kruskal_mst` — Kruskal over the frozen edge arrays with an
+  int-indexed union-find, byte-identical to the dict Kruskal (stable
+  sort preserves ``graph.edges()`` order among equal weights).
+
+Snapshots are versioned: :func:`csr_of` memoizes the CSR build per graph
+through :class:`~repro.graphs.cache.GraphParamCache`, which invalidates
+it via the ``WeightedGraph.version`` mutation counter, so a stale
+snapshot is impossible through the public API.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import NamedTuple, Optional
+
+from .weighted_graph import Vertex, WeightedGraph
+
+__all__ = [
+    "CSRGraph",
+    "csr_of",
+    "sssp_into",
+    "sssp_maps",
+    "all_sources_scan",
+    "GraphScan",
+    "csr_prim_mst",
+    "csr_kruskal_mst",
+]
+
+_INF = float("inf")
+
+
+class CSRGraph:
+    """An immutable CSR snapshot of a :class:`WeightedGraph`.
+
+    Attributes
+    ----------
+    n:
+        Vertex count.
+    verts:
+        Dense index -> original vertex object, in graph insertion order.
+    index:
+        Original vertex object -> dense index (the interning map).
+    indptr:
+        ``indptr[i]:indptr[i+1]`` delimits vertex *i*'s adjacency in the
+        parallel arrays; length ``n + 1``.
+    indices / weights:
+        Flat neighbor indices and edge weights, both length ``2m``
+        (each undirected edge appears once per endpoint), in the same
+        neighbor order the dict adjacency reports.
+    adj:
+        ``adj[i]`` is vertex *i*'s ``(neighbor, weight)`` pair list —
+        the ``indptr`` slices of ``zip(indices, weights)`` materialized
+        once at build time, so the kernels' hot loops pay zero per-visit
+        allocation (a fresh slice per settled vertex costs ~30% of scan
+        time at bench sizes).
+    iadj / wmax:
+        When every weight is a non-negative integer (the paper's
+        ``W = poly(n)`` regime and all of this repo's generators),
+        ``iadj`` mirrors ``adj`` with ``int`` weights and ``wmax`` is the
+        largest; :func:`all_sources_scan` then runs a Dial bucket queue
+        instead of a binary heap.  ``iadj`` is ``None`` for fractional or
+        negative weights.
+    edge_src / edge_dst / edge_weight:
+        The undirected edge list as index triples, in ``graph.edges()``
+        order (each edge exactly once) — Kruskal's input.
+    version:
+        The ``WeightedGraph.version`` this snapshot was built from.
+    """
+
+    __slots__ = (
+        "n", "verts", "index", "indptr", "indices", "weights", "adj",
+        "iadj", "wmax", "edge_src", "edge_dst", "edge_weight", "version",
+    )
+
+    def __init__(self, graph: WeightedGraph) -> None:
+        verts = graph.vertices
+        index = {v: i for i, v in enumerate(verts)}
+        indptr = [0]
+        indices: list[int] = []
+        weights: list[float] = []
+        append_i = indices.append
+        append_w = weights.append
+        for v in verts:
+            for u, w in graph.neighbor_weights(v).items():
+                append_i(index[u])
+                append_w(w)
+            indptr.append(len(indices))
+        self.n = len(verts)
+        self.verts = verts
+        self.index = index
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        pairs = list(zip(indices, weights))
+        self.adj = [pairs[indptr[i]:indptr[i + 1]] for i in range(self.n)]
+        # Integral non-negative weights (the paper's W = poly(n) integer
+        # regime, and what every generator in this repo emits) admit a
+        # Dial bucket queue in the all-sources scan; detect once here.
+        # Integer sums below 2**53 are exact in float, so the scan's
+        # results are bit-equal either way.
+        integral = True
+        wmax = 0
+        for w in weights:
+            if w != int(w) or w < 0:
+                integral = False
+                break
+            if w > wmax:
+                wmax = int(w)
+        if integral:
+            # Generators store randint weights as ints already; only
+            # float-typed integral weights (e.g. unit 1.0) need copying.
+            if all(type(w) is int for w in weights):
+                self.iadj: Optional[list] = self.adj
+            else:
+                self.iadj = [
+                    [(v, int(w)) for v, w in row] for row in self.adj
+                ]
+            self.wmax = wmax
+        else:
+            self.iadj = None
+            self.wmax = 0
+        es: list[int] = []
+        ed: list[int] = []
+        ew: list[float] = []
+        for u, v, w in graph.edges():
+            es.append(index[u])
+            ed.append(index[v])
+            ew.append(w)
+        self.edge_src = es
+        self.edge_dst = ed
+        self.edge_weight = ew
+        self.version = graph.version
+
+    @property
+    def m(self) -> int:
+        return len(self.edge_weight)
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.n}, m={self.m}, version={self.version})"
+
+
+def csr_of(graph: WeightedGraph) -> CSRGraph:
+    """The memoized CSR snapshot of ``graph`` (rebuilt after mutations).
+
+    Routed through :func:`repro.graphs.cache.param_cache`, which owns the
+    version-checked invalidation; callers get a snapshot that is always
+    consistent with the graph's current contents.
+    """
+    from .cache import param_cache  # deferred: cache imports our kernels
+
+    return param_cache(graph).csr()
+
+
+# --------------------------------------------------------------------- #
+# Shortest paths
+# --------------------------------------------------------------------- #
+
+
+def sssp_into(
+    csr: CSRGraph,
+    source: int,
+    dist: list[float],
+    parent: list[int],
+    order: list[int],
+) -> None:
+    """Dijkstra from ``source`` (a dense index) into caller-owned buffers.
+
+    Requires clean buffers: ``dist[i] == inf`` and ``parent[i] == -1``
+    for every i, ``order`` empty.  On return ``order`` lists every
+    reached index in first-discovery order — exactly the dict-path
+    insertion order — and resetting only those entries restores the
+    buffers in O(touched).
+
+    The tie-breaking counter replays :func:`repro.graphs.paths.dijkstra`
+    push-for-push, so the settled order, final distances, and parent
+    choices are identical to the dict implementation.
+    """
+    adj = csr.adj
+    push = heapq.heappush
+    pop = heapq.heappop
+    dist[source] = 0.0
+    order.append(source)
+    tie = 1
+    heap: list[tuple[float, int, int]] = [(0.0, 0, source)]
+    while heap:
+        d, _, u = pop(heap)
+        if d > dist[u]:
+            continue  # stale entry; u was settled at a smaller distance
+        for v, w in adj[u]:
+            nd = d + w
+            dv = dist[v]
+            if nd < dv:
+                if dv == _INF:
+                    order.append(v)
+                dist[v] = nd
+                parent[v] = u
+                push(heap, (nd, tie, v))
+                tie += 1
+
+
+def sssp_maps(
+    csr: CSRGraph, source: Vertex
+) -> tuple[dict[Vertex, float], dict[Vertex, Optional[Vertex]]]:
+    """One source's ``(dist, parent)`` as vertex-keyed dicts.
+
+    Byte-compatible with :func:`repro.graphs.paths.dijkstra`: same
+    values, same reachable set, and the same dict insertion order
+    (first-discovery order), so downstream consumers that iterate the
+    dicts see an unchanged sequence.
+    """
+    s = csr.index.get(source)
+    if s is None:
+        raise KeyError(f"source {source!r} not in graph")
+    n = csr.n
+    dist = [_INF] * n
+    parent = [-1] * n
+    order: list[int] = []
+    sssp_into(csr, s, dist, parent, order)
+    verts = csr.verts
+    dist_map: dict[Vertex, float] = {}
+    parent_map: dict[Vertex, Optional[Vertex]] = {}
+    for i in order:
+        v = verts[i]
+        dist_map[v] = dist[i]
+        p = parent[i]
+        parent_map[v] = verts[p] if p >= 0 else None
+    return dist_map, parent_map
+
+
+class GraphScan(NamedTuple):
+    """Everything one batched all-sources sweep yields."""
+
+    ecc: list[float]        # eccentricity per dense index (inf if disconnected)
+    diameter: float         # max eccentricity (0.0 on an empty graph)
+    max_neighbor_distance: float  # d = max over edges of dist(u, v)
+
+
+def all_sources_scan(csr: CSRGraph) -> GraphScan:
+    """Eccentricities, diameter, and ``d`` in one pass over all sources.
+
+    One Dijkstra per source against a single reused buffer set; the
+    eccentricity is accumulated from settled pop distances (no second
+    max() pass) and the neighbor-distance bound ``d`` reads each source's
+    finished ``dist`` row directly.  Values are identical to the
+    dict-path formulas in :mod:`repro.graphs.cache`.
+
+    Unlike :func:`sssp_into`, nothing here exposes parents or discovery
+    order, and final distances are canonical under any tie-breaking
+    (every tied pop order settles the same minima, and an exactly-tied
+    float sum is the same float) — so the scan skips the replay
+    bookkeeping the map-building kernel must keep.  Two queue
+    disciplines, same results bit-for-bit:
+
+    * integral weights (``csr.iadj`` is set): a Dial bucket queue —
+      O(1) appends per relaxation, buckets consumed in distance order up
+      to the source's eccentricity, the whole bucket array allocated
+      once and recycled across sources (integer distance sums are exact
+      in float, so converting at the end loses nothing);
+    * fractional weights: binary heap of bare ``(d, v)`` pairs.
+    """
+    n = csr.n
+    ecc: list[float] = [0.0] * n
+    diam = 0.0
+    max_nbr = 0.0
+    if csr.iadj is not None:
+        iadj = csr.iadj
+        # Distances are < n * wmax; one spare slot for the +w overshoot.
+        bound = max(1, (n - 1) * csr.wmax + 1)
+        buckets: list[list[int]] = [[] for _ in range(bound)]
+        idist = [bound] * n  # bound acts as the integer infinity
+        imax_nbr = 0
+        for s in range(n):
+            touched = [s]
+            touch = touched.append
+            idist[s] = 0
+            buckets[0].append(s)
+            pending = 1
+            far = 0
+            d = 0
+            while pending:
+                b = buckets[d]
+                if b:
+                    # A zero-weight relaxation appends to b mid-loop; the
+                    # list iterator picks it up, so the whole same-distance
+                    # closure settles in this pass and len(b) afterwards
+                    # counts every consumed entry.
+                    for u in b:
+                        if idist[u] != d:
+                            continue  # superseded by a shorter relaxation
+                        far = d
+                        for v, w in iadj[u]:
+                            nd = d + w
+                            if nd < idist[v]:
+                                if idist[v] == bound:
+                                    touch(v)
+                                idist[v] = nd
+                                buckets[nd].append(v)
+                                pending += 1
+                    pending -= len(b)
+                    b.clear()
+                d += 1
+            e = float(far) if len(touched) == n else _INF
+            ecc[s] = e
+            if e > diam:
+                diam = e
+            for v, _w in iadj[s]:
+                dv = idist[v]
+                if dv > imax_nbr:
+                    imax_nbr = dv
+            for i in touched:
+                idist[i] = bound
+        max_nbr = float(imax_nbr)
+        return GraphScan(ecc, diam, max_nbr)
+    adj = csr.adj
+    push = heapq.heappush
+    pop = heapq.heappop
+    dist = [_INF] * n
+    for s in range(n):
+        touched = [s]
+        touch = touched.append
+        dist[s] = 0.0
+        far = 0.0
+        heap: list[tuple[float, int]] = [(0.0, s)]
+        while heap:
+            d, u = pop(heap)
+            if d > dist[u]:
+                continue
+            far = d  # pops are monotone in d: the last settled d is the max
+            for v, w in adj[u]:
+                nd = d + w
+                dv = dist[v]
+                if nd < dv:
+                    if dv == _INF:
+                        touch(v)
+                    dist[v] = nd
+                    push(heap, (nd, v))
+        e = far if len(touched) == n else _INF
+        ecc[s] = e
+        if e > diam:
+            diam = e
+        for v, _w in adj[s]:
+            dv = dist[v]
+            if dv > max_nbr:
+                max_nbr = dv
+        for i in touched:
+            dist[i] = _INF
+    return GraphScan(ecc, diam, max_nbr)
+
+
+# --------------------------------------------------------------------- #
+# Minimum spanning trees
+# --------------------------------------------------------------------- #
+
+
+def csr_prim_mst(csr: CSRGraph, root: int = 0) -> WeightedGraph:
+    """Prim over the flat adjacency; byte-identical to ``prim_mst``.
+
+    The tie counter advances push-for-push with the dict implementation
+    (root adjacency first, then each newly added vertex's non-tree
+    neighbors in adjacency order), so equal-weight choices, the tree's
+    edge insertion order, and therefore ``total_weight()`` rounding are
+    all bit-equal.  Raises ``ValueError`` on a disconnected graph.
+    """
+    n = csr.n
+    if n == 0:
+        return WeightedGraph()
+    verts = csr.verts
+    adj = csr.adj
+    push = heapq.heappush
+    pop = heapq.heappop
+    in_tree = bytearray(n)
+    in_tree[root] = 1
+    tree = WeightedGraph(vertices=[verts[root]])
+    add_edge = tree.add_edge
+    tie = 0
+    heap: list[tuple[float, int, int, int]] = []
+    for v, w in adj[root]:
+        push(heap, (w, tie, root, v))
+        tie += 1
+    added = 1
+    while heap:
+        w, _, u, v = pop(heap)
+        if in_tree[v]:
+            continue
+        in_tree[v] = 1
+        added += 1
+        add_edge(verts[u], verts[v], w)
+        for x, wx in adj[v]:
+            if not in_tree[x]:
+                push(heap, (wx, tie, v, x))
+                tie += 1
+    if added != n:
+        raise ValueError("graph is not connected; MST undefined")
+    return tree
+
+
+def csr_kruskal_mst(csr: CSRGraph) -> WeightedGraph:
+    """Kruskal over the frozen edge arrays; byte-identical to the dict path.
+
+    A stable sort of edge indices by weight preserves ``graph.edges()``
+    order among equal weights — the same order ``sorted(graph.edges(),
+    key=weight)`` yields — and the int-indexed union-find admits exactly
+    the same edges, so the resulting tree matches
+    :func:`repro.graphs.mst.kruskal_mst` edge-for-edge.
+    """
+    n = csr.n
+    verts = csr.verts
+    es = csr.edge_src
+    ed = csr.edge_dst
+    ew = csr.edge_weight
+    tree = WeightedGraph(vertices=verts)
+    add_edge = tree.add_edge
+    uf_parent = list(range(n))
+    uf_rank = [0] * n
+    added = 0
+    for j in sorted(range(len(ew)), key=ew.__getitem__):
+        # find(u), find(v) with path compression, inline and iterative.
+        ru = es[j]
+        while uf_parent[ru] != ru:
+            ru = uf_parent[ru]
+        x = es[j]
+        while uf_parent[x] != ru:
+            uf_parent[x], x = ru, uf_parent[x]
+        rv = ed[j]
+        while uf_parent[rv] != rv:
+            rv = uf_parent[rv]
+        x = ed[j]
+        while uf_parent[x] != rv:
+            uf_parent[x], x = rv, uf_parent[x]
+        if ru == rv:
+            continue
+        if uf_rank[ru] < uf_rank[rv]:
+            ru, rv = rv, ru
+        uf_parent[rv] = ru
+        if uf_rank[ru] == uf_rank[rv]:
+            uf_rank[ru] += 1
+        add_edge(verts[es[j]], verts[ed[j]], ew[j])
+        added += 1
+    if added != n - 1 and n > 0:
+        raise ValueError("graph is not connected; MST undefined")
+    return tree

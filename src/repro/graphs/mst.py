@@ -1,9 +1,17 @@
-"""Sequential minimum spanning trees (Prim and Kruskal).
+"""Minimum spanning trees (array-kernel fast path + dict reference).
 
 Used as (a) the preprocessing step of the SLT algorithm (Section 2.2),
 (b) the definition of the paper's script-V parameter ``V = w(MST(G))``
 (Section 1.3), and (c) a correctness oracle for the distributed MST
 protocols of Section 8.
+
+The public entry points (:func:`prim_mst`, :func:`kruskal_mst`,
+:func:`minimum_spanning_tree`) route through the flat-array kernels in
+:mod:`repro.graphs.csr` (CSR snapshot memoized per graph version via
+:mod:`repro.graphs.cache`); their output is byte-identical to the
+original dict-of-dicts algorithms, which are kept here as
+:func:`prim_mst_dicts` / :func:`kruskal_mst_dicts` — the independent
+reference implementations the golden tests compare the kernels against.
 """
 
 from __future__ import annotations
@@ -14,7 +22,15 @@ from typing import Optional
 
 from .weighted_graph import Vertex, WeightedGraph
 
-__all__ = ["prim_mst", "kruskal_mst", "minimum_spanning_tree", "mst_weight", "UnionFind"]
+__all__ = [
+    "prim_mst",
+    "kruskal_mst",
+    "prim_mst_dicts",
+    "kruskal_mst_dicts",
+    "minimum_spanning_tree",
+    "mst_weight",
+    "UnionFind",
+]
 
 
 class UnionFind:
@@ -51,10 +67,39 @@ class UnionFind:
 
 
 def prim_mst(graph: WeightedGraph, root: Optional[Vertex] = None) -> WeightedGraph:
-    """Prim's algorithm; returns the MST as a :class:`WeightedGraph`.
+    """Prim's algorithm; returns the MST as a fresh :class:`WeightedGraph`.
 
-    Deterministic given insertion order (ties broken by discovery order).
-    Raises ``ValueError`` on a disconnected graph.
+    Runs on the memoized CSR snapshot (:mod:`repro.graphs.csr`);
+    deterministic given insertion order (ties broken by discovery order)
+    and byte-identical to :func:`prim_mst_dicts`.  Raises ``ValueError``
+    on a disconnected graph.
+    """
+    from .csr import csr_of, csr_prim_mst
+
+    if graph.num_vertices == 0:
+        return WeightedGraph()
+    csr = csr_of(graph)
+    return csr_prim_mst(csr, csr.index[root] if root is not None else 0)
+
+
+def kruskal_mst(graph: WeightedGraph) -> WeightedGraph:
+    """Kruskal's algorithm; returns the MST (raises on disconnected input).
+
+    Runs on the frozen edge arrays of the CSR snapshot with an
+    int-indexed union-find; byte-identical to :func:`kruskal_mst_dicts`.
+    """
+    from .csr import csr_kruskal_mst, csr_of
+
+    return csr_kruskal_mst(csr_of(graph))
+
+
+def prim_mst_dicts(
+    graph: WeightedGraph, root: Optional[Vertex] = None
+) -> WeightedGraph:
+    """Reference dict-of-dicts Prim (the pre-CSR implementation).
+
+    Kept as the independent oracle the CSR kernel is golden-tested
+    against; not on any hot path.
     """
     if graph.num_vertices == 0:
         return WeightedGraph()
@@ -80,8 +125,8 @@ def prim_mst(graph: WeightedGraph, root: Optional[Vertex] = None) -> WeightedGra
     return tree
 
 
-def kruskal_mst(graph: WeightedGraph) -> WeightedGraph:
-    """Kruskal's algorithm; returns the MST (raises on disconnected input)."""
+def kruskal_mst_dicts(graph: WeightedGraph) -> WeightedGraph:
+    """Reference dict-based Kruskal (the pre-CSR implementation)."""
     uf = UnionFind()
     tree = WeightedGraph(vertices=graph.vertices)
     edges = sorted(graph.edges(), key=lambda e: e[2])

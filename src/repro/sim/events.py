@@ -1,32 +1,43 @@
 """A minimal deterministic discrete-event queue.
 
-The heap holds one fixed-slot entry ``(time, seq, bucket)`` per *distinct
-pending timestamp*; ``bucket`` is a flat FIFO batch
-``[cursor, fn0, args0, fn1, args1, ...]`` of every event scheduled at that
-instant, in scheduling order.  Scheduling an event at a timestamp that is
-already pending is therefore an O(1) list append instead of an O(log n)
-heap push — the dominant cost on the simulator's hot path, where
-synchronous pulses and same-weight broadcast waves make most events share
-their timestamp ("batched FIFO delivery").
+The heap holds one entry per *distinct pending timestamp*.  An entry is a
+single flat list ``[time, seq, cursor, fn0, args0, fn1, args1, ...]`` —
+the heap key ``(time, seq)`` and the FIFO batch of every event scheduled
+at that instant share one allocation.  ``seq`` is unique, so heap
+comparisons never reach the payload slots; ``cursor`` marks the next
+un-fired pair (it starts at 3 and only moves when a drain is interrupted
+mid-batch).  Scheduling an event at a timestamp that is already pending
+is therefore an O(1) list append instead of an O(log n) heap push — the
+dominant cost on the simulator's hot path, where synchronous pulses and
+same-weight broadcast waves make most events share their timestamp
+("batched FIFO delivery").
 
 Ordering semantics are identical to a classical one-entry-per-event heap
 with a monotone tie-breaking sequence number: simultaneous events fire in
 scheduling order — across *all* entry points (`schedule`, `schedule_at`,
 `schedule_call`, `schedule_call_at`), even when the heap drained in
 between — so runs are fully deterministic for a fixed seed.  An event
-scheduled *at the current instant* from inside a callback joins the
-currently draining batch and fires after everything already queued at
-that time, exactly as before.
+scheduled *at the current instant* from inside a callback fires in the
+same drain, after everything already queued at that time, exactly as
+before.  (:meth:`run` retires a batch *before* dispatching it, so such
+events land in a fresh same-time batch that the drain loop picks up
+next; :meth:`step` keeps the batch live and appends.  Observable firing
+order is the same either way.)
 
-Two further design points matter for throughput (see docs/PERF.md and
+Three design points matter for throughput (see docs/PERF.md and
 ``scripts/bench.py``):
 
 * ``schedule_call`` / ``schedule_call_at`` store the callable and its
   argument tuple directly in the event's slots instead of forcing callers
   to allocate a capturing closure per event;
 * :meth:`run` drains the queue in a single tight loop with the heap and
-  ``heappop`` bound to locals, instead of paying one ``peek_time()`` plus
-  one ``step()`` method call per event.
+  ``heappop`` bound to locals, retires each batch up front (one heap pop
+  plus one dict delete per *batch*, not per event), and takes a separate
+  fast path for single-event batches — the all-distinct-timestamps shape
+  (serial token walks) that used to pay full bucket bookkeeping per
+  event;
+* one list per distinct timestamp is the only per-schedule allocation:
+  the former separate ``(time, seq, bucket)`` heap tuple is gone.
 
 The scheduling methods repeat the small push body instead of sharing a
 helper: one extra method call per scheduled event is measurable at the
@@ -44,19 +55,27 @@ __all__ = ["EventQueue"]
 _NO_ARGS: tuple = ()
 _heappush = heapq.heappush
 
+# First payload slot of an entry: [time, seq, cursor, fn0, args0, ...].
+_HEAD = 3
+
 
 class EventQueue:
     """Time-ordered callback queue."""
 
     def __init__(self) -> None:
-        # One entry per distinct pending time: (time, seq, bucket) where
-        # bucket = [cursor:int, fn0, args0, fn1, args1, ...].  The cursor
-        # marks the next un-fired item (it advances by 2; non-zero offsets
-        # persist only while a batch is being drained or after run() was
-        # interrupted).  seq is unique, so heap comparisons never reach
-        # the bucket list.
-        self._heap: list[tuple] = []
-        # Live (still appendable) buckets by timestamp.
+        # One entry per distinct pending time:
+        # [time, seq, cursor, fn0, args0, fn1, args1, ...].  seq is
+        # unique, so heap (list) comparisons stop at slot 1 and never
+        # reach cursor or payload.  cursor advances by 2 and is non-zero
+        # only while a batch is partially dispatched (interrupted run()
+        # or step()-driven draining).
+        self._heap: list[list] = []
+        # Live (still appendable) entries by timestamp.  An entry created
+        # while the heap was empty is deliberately *not* registered here:
+        # nothing can batch ahead of it, and a later same-time schedule
+        # simply opens a registered entry with a later seq — same firing
+        # order, but the empty-queue singleton path (serial token walks)
+        # skips the dict insert/delete entirely.
         self._buckets: dict[float, list] = {}
         self._seq = count()
         # Pre-bound lookups shaving ~100ns off every singleton schedule
@@ -78,18 +97,18 @@ class EventQueue:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         when = self.now + delay
-        bucket = self._bucket_get(when)
-        if bucket is None:
-            self._buckets[when] = bucket = [1, callback, _NO_ARGS]
+        entry = self._bucket_get(when) if self._buckets else None
+        if entry is None:
+            entry = [when, self._next_seq(), _HEAD, callback, _NO_ARGS]
             heap = self._heap
-            entry = (when, self._next_seq(), bucket)
             if heap:
+                self._buckets[when] = entry
                 _heappush(heap, entry)
             else:
                 heap.append(entry)
         else:
-            bucket.append(callback)
-            bucket.append(_NO_ARGS)
+            entry.append(callback)
+            entry.append(_NO_ARGS)
         self._size += 1
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
@@ -102,18 +121,18 @@ class EventQueue:
         """
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
-        bucket = self._bucket_get(when)
-        if bucket is None:
-            self._buckets[when] = bucket = [1, callback, _NO_ARGS]
+        entry = self._bucket_get(when) if self._buckets else None
+        if entry is None:
+            entry = [when, self._next_seq(), _HEAD, callback, _NO_ARGS]
             heap = self._heap
-            entry = (when, self._next_seq(), bucket)
             if heap:
+                self._buckets[when] = entry
                 _heappush(heap, entry)
             else:
                 heap.append(entry)
         else:
-            bucket.append(callback)
-            bucket.append(_NO_ARGS)
+            entry.append(callback)
+            entry.append(_NO_ARGS)
         self._size += 1
 
     def schedule_call(self, delay: float, fn: Callable, *args) -> None:
@@ -125,36 +144,36 @@ class EventQueue:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         when = self.now + delay
-        bucket = self._bucket_get(when)
-        if bucket is None:
-            self._buckets[when] = bucket = [1, fn, args]
+        entry = self._bucket_get(when) if self._buckets else None
+        if entry is None:
+            entry = [when, self._next_seq(), _HEAD, fn, args]
             heap = self._heap
-            entry = (when, self._next_seq(), bucket)
             if heap:
+                self._buckets[when] = entry
                 _heappush(heap, entry)
             else:
                 heap.append(entry)
         else:
-            bucket.append(fn)
-            bucket.append(args)
+            entry.append(fn)
+            entry.append(args)
         self._size += 1
 
     def schedule_call_at(self, when: float, fn: Callable, *args) -> None:
         """Like :meth:`schedule_at`, but stores ``fn`` and ``args`` directly."""
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
-        bucket = self._bucket_get(when)
-        if bucket is None:
-            self._buckets[when] = bucket = [1, fn, args]
+        entry = self._bucket_get(when) if self._buckets else None
+        if entry is None:
+            entry = [when, self._next_seq(), _HEAD, fn, args]
             heap = self._heap
-            entry = (when, self._next_seq(), bucket)
             if heap:
+                self._buckets[when] = entry
                 _heappush(heap, entry)
             else:
                 heap.append(entry)
         else:
-            bucket.append(fn)
-            bucket.append(args)
+            entry.append(fn)
+            entry.append(args)
         self._size += 1
 
     # ------------------------------------------------------------------ #
@@ -175,34 +194,41 @@ class EventQueue:
     # Execution
     # ------------------------------------------------------------------ #
 
-    def _retire(self, when: float, bucket: list) -> None:
-        """Drop a fully dispatched batch (it is the heap front by invariant)."""
-        heapq.heappop(self._heap)
-        if self._buckets.get(when) is bucket:
-            del self._buckets[when]
-
     def step(self) -> bool:
-        """Pop and run the earliest event; return False if the queue is empty."""
+        """Pop and run the earliest event; return False if the queue is empty.
+
+        Unlike :meth:`run`, ``step`` keeps the batch registered while it
+        drains it, so a callback scheduling at the current instant appends
+        to the live batch (same observable order as ``run``'s
+        fresh-batch handling).
+        """
         if not self._size:
             return False
+        heap = self._heap
+        buckets = self._buckets
         while True:
-            when, _, bucket = self._heap[0]
-            if bucket[0] < len(bucket):
+            entry = heap[0]
+            i = entry[2]
+            if i < len(entry):
                 break
-            # A batch fully dispatched by an interrupted run() may still
-            # sit at the front; drop it and look again.
-            self._retire(when, bucket)
+            # A fully dispatched batch can sit at the front only if a
+            # callback raised out of a drain; drop it and look again.
+            heapq.heappop(heap)
+            if buckets.get(entry[0]) is entry:
+                del buckets[entry[0]]
+        when = entry[0]
         self.now = when
-        i = bucket[0]
-        fn = bucket[i]
-        args = bucket[i + 1]
-        bucket[0] = i + 2
+        fn = entry[i]
+        args = entry[i + 1]
+        entry[2] = i + 2
         self._size -= 1
         fn(*args)
         # Retire only after the callback ran: it may have appended new
         # same-time events to this very batch.
-        if bucket[0] == len(bucket):
-            self._retire(when, bucket)
+        if entry[2] == len(entry):
+            heapq.heappop(heap)  # entry is the front by the heap invariant
+            if buckets.get(when) is entry:
+                del buckets[when]
         return True
 
     def run(
@@ -226,16 +252,21 @@ class EventQueue:
           callers that know no callback halts may skip the probe).
 
         Semantically identical to ``while self.step(): ...`` with the same
-        guards, but substantially faster: the heap and pop are locals and
-        whole same-time batches are dispatched without touching the heap.
+        guards, but substantially faster: the heap and pop are locals,
+        each batch is retired with a single heap pop + dict delete
+        *before* dispatch (same-time events scheduled by callbacks open a
+        fresh batch, which preserves the firing order), and single-event
+        batches take a dedicated fast path with no cursor bookkeeping.
 
         If a callback raises, the exception propagates and the queue must
-        be treated as spent: same-instant events that already fired may be
+        be treated as spent: the remainder of the batch being drained may
+        be dropped, and same-instant events that already fired may be
         replayed by a subsequent drain.  (Every harness in this repo
         abandons the network after a callback exception.)
         """
         heap = self._heap
         buckets = self._buckets
+        buckets_get = self._bucket_get
         pop = heapq.heappop
         self.halted = False
         events = 0
@@ -244,37 +275,47 @@ class EventQueue:
             return ("max_events", 0)
         try:
             while heap:
-                when, _, bucket = heap[0]
+                entry = heap[0]
+                when = entry[0]
                 if when > max_time:
                     return ("max_time", events)
-                self.now = when
-                i = bucket[0]
-                n = len(bucket)
-                # Outer while: a callback scheduling at the current
-                # instant appends past the n snapshot; re-checking len
-                # once per snapshot batch picks those up within this
-                # drain (append order == firing order, as required).
-                while i < n:
-                    while i < n:
-                        fn = bucket[i]
-                        args = bucket[i + 1]
-                        i += 2
-                        fn(*args)
-                        events += 1
-                        if events == limit or (check_halt and self.halted):
-                            bucket[0] = i
-                            if i == len(bucket):
-                                pop(heap)
-                                if buckets.get(when) is bucket:
-                                    del buckets[when]
-                            if self.halted:
-                                return ("halted", events)
-                            return ("max_events", events)
-                    n = len(bucket)
-                # Batch exhausted: it is still the heap front (nothing
-                # earlier can have been scheduled), so pop directly.
+                # Retire up front: one pop + one dict delete per batch.
+                # Callbacks scheduling at `when` then open a fresh batch
+                # with a later seq, which fires right after this one —
+                # the same order appending would have produced.
                 pop(heap)
-                del buckets[when]
+                if buckets and buckets_get(when) is entry:
+                    del buckets[when]
+                self.now = when
+                i = entry[2]
+                n = len(entry)
+                if i + 2 == n:
+                    # Singleton batch (all-distinct-timestamps traffic).
+                    fn = entry[i]
+                    args = entry[i + 1]
+                    fn(*args)
+                    events += 1
+                    if events == limit or (check_halt and self.halted):
+                        if self.halted:
+                            return ("halted", events)
+                        return ("max_events", events)
+                    continue
+                while i < n:
+                    fn = entry[i]
+                    args = entry[i + 1]
+                    i += 2
+                    fn(*args)
+                    events += 1
+                    if events == limit or (check_halt and self.halted):
+                        if i < n:
+                            # Re-queue the remainder under its original
+                            # seq so it still fires before any same-time
+                            # batch opened meanwhile.
+                            entry[2] = i
+                            _heappush(heap, entry)
+                        if self.halted:
+                            return ("halted", events)
+                        return ("max_events", events)
             return ("empty", events)
         finally:
             # One batched update instead of a per-event decrement; the

@@ -1,0 +1,96 @@
+"""Unit tests for the bench harness's --compare regression gate."""
+
+import importlib.util
+import pathlib
+
+_BENCH = pathlib.Path(__file__).resolve().parent.parent / "scripts" / "bench.py"
+_spec = importlib.util.spec_from_file_location("bench", _BENCH)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+
+def _report(eq_speedups, kernels=None, net=None, chaos=None):
+    shapes = {k: {"speedup": v} for k, v in eq_speedups.items()}
+    geo = 1.0
+    for v in eq_speedups.values():
+        geo *= v
+    geo **= 1.0 / max(len(eq_speedups), 1)
+    rep = {"event_queue": {"shapes": shapes,
+                           "aggregate": {"geomean_speedup": geo}}}
+    if kernels is not None:
+        kshapes = {k: {"speedup": v} for k, v in kernels.items()}
+        kg = 1.0
+        for v in kernels.values():
+            kg *= v
+        kg **= 1.0 / max(len(kernels), 1)
+        rep["graph_kernels"] = {"shapes": kshapes,
+                                "aggregate": {"geomean_speedup": kg}}
+    if net is not None:
+        rep["network"] = {"messages_per_s": net}
+    if chaos is not None:
+        rep["chaos_sweep"] = {"speedup": chaos}
+    return rep
+
+
+def test_identical_reports_pass():
+    r = _report({"wave": 3.0, "chain": 1.1}, net=500000.0, chaos=1.0)
+    ok, geomean, ratios = bench.compare_reports(r, r)
+    assert ok
+    assert abs(geomean - 1.0) < 1e-12
+    assert set(ratios) == {
+        "event_queue/wave/speedup", "event_queue/chain/speedup",
+        "event_queue/geomean_speedup", "network/messages_per_s",
+        "chaos_sweep/speedup",
+    }
+
+
+def test_regression_beyond_tolerance_fails():
+    base = _report({"wave": 3.0, "chain": 1.2}, net=500000.0)
+    cur = _report({"wave": 2.0, "chain": 0.9}, net=400000.0)  # ~ -28%
+    ok, geomean, _ = bench.compare_reports(cur, base, tolerance=0.10)
+    assert not ok
+    assert geomean < 0.9
+
+
+def test_regression_within_tolerance_passes():
+    base = _report({"wave": 3.0}, net=500000.0)
+    cur = _report({"wave": 2.85}, net=480000.0)  # ~ -4.5%
+    ok, geomean, _ = bench.compare_reports(cur, base, tolerance=0.10)
+    assert ok
+    assert 0.9 < geomean < 1.0
+
+
+def test_improvements_offset_small_regressions_via_geomean():
+    base = _report({"wave": 1.0, "chain": 1.0})
+    cur = _report({"wave": 2.0, "chain": 0.8})  # geomean ~1.26
+    ok, geomean, _ = bench.compare_reports(cur, base)
+    assert ok and geomean > 1.0
+
+
+def test_new_sections_are_skipped_not_failed():
+    # Baseline predates the kernel bench: its metrics must not count.
+    base = _report({"wave": 3.0})
+    cur = _report({"wave": 3.0}, kernels={"grid": 4.0}, chaos=2.0)
+    ok, geomean, ratios = bench.compare_reports(cur, base)
+    assert ok
+    assert "graph_kernels/grid/speedup" not in ratios
+    assert "chaos_sweep/speedup" not in ratios
+    assert abs(geomean - 1.0) < 1e-12
+
+
+def test_disjoint_reports_trivially_pass():
+    ok, geomean, ratios = bench.compare_reports(_report({"wave": 1.0}), {})
+    assert ok and geomean == 1.0 and ratios == {}
+
+
+def test_committed_baseline_is_comparable():
+    # The artifact CI diffs against must keep exposing the gate metrics.
+    import json
+
+    baseline = json.loads(
+        (_BENCH.parent.parent / "BENCH_757cd87.json").read_text()
+    )
+    metrics = bench.comparable_metrics(baseline)
+    assert "event_queue/chain/speedup" in metrics
+    assert "chaos_sweep/speedup" in metrics
+    assert all(v > 0 for v in metrics.values())
