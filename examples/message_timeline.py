@@ -1,52 +1,32 @@
 #!/usr/bin/env python
-"""Space-time diagrams from the simulator's trace hook.
+"""Space-time diagrams from the structured trace recorder.
 
 Renders an ASCII space-time diagram (vertices as columns, time flowing
-down, messages as send/receive marks) for two small runs: a flood and the
+down, sends/deliveries as marks) for two small runs: a flood and the
 two-phase global-function protocol.  Useful for eyeballing how the
 cost-sensitive delay model shapes executions.
+
+The rendering comes from ``repro.obs``: a :class:`TraceRecorder` attached
+to the network captures every send/deliver/finish as a structured record,
+and :func:`render_timeline` draws the retained log (``>``/``<`` sends
+toward higher/lower columns, ``*`` deliveries, ``#`` local finish).
 
 Run:  python examples/message_timeline.py
 """
 
 from repro.core import SUM, compute_global_function
 from repro.graphs import path_graph, ring_graph
+from repro.obs import TraceRecorder, render_timeline
 from repro.protocols.broadcast import FloodProcess
 from repro.sim import Network
 
 
 def timeline(graph, factory, title, time_step=1.0, max_rows=40):
-    events = []
-    net = Network(
-        graph, factory,
-        trace=lambda t, u, v, tag, cost: events.append((t, u, v, tag, cost)),
-    )
+    recorder = TraceRecorder()
+    net = Network(graph, factory, recorder=recorder)
     net.run()
-    vertices = sorted(graph.vertices, key=repr)
-    col = {v: i for i, v in enumerate(vertices)}
-    width = 6
     print(f"\n=== {title} ===")
-    print("time".rjust(6) + " " + "".join(str(v).center(width) for v in vertices))
-    if not events:
-        print("(no messages)")
-        return
-    t_end = max(t for t, *_ in events)
-    row_time = 0.0
-    idx = 0
-    rows = 0
-    while row_time <= t_end + time_step and rows < max_rows:
-        cells = {v: "  .  " for v in vertices}
-        while idx < len(events) and events[idx][0] < row_time + time_step:
-            _t, u, v, _tag, _cost = events[idx]
-            arrow = ">" if col[v] > col[u] else "<"
-            cells[u] = f" ({arrow}) "
-            idx += 1
-        print(f"{row_time:6.0f} " + "".join(
-            cells[v].center(width) for v in vertices))
-        row_time += time_step
-        rows += 1
-    print(f"({len(events)} messages total; (>) / (<) mark sends toward "
-          f"higher / lower columns)")
+    print(render_timeline(recorder, time_step=time_step, max_rows=max_rows))
 
 
 def main() -> None:
@@ -60,7 +40,6 @@ def main() -> None:
 
     # The two-phase global function protocol: converge up, broadcast down.
     g3 = path_graph(7, weight=1.0)
-    events = []
     result, total = compute_global_function(
         g3, {v: 1 for v in g3.vertices}, SUM, root=3
     )

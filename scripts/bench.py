@@ -27,6 +27,10 @@ revision leaves a comparable perf record:
    pre-optimization pool path (fresh executor per call, chunksize 1, no
    warm-up) — asserting all row lists are identical and reporting every
    wall time.
+5. **Tracing overhead** — the same flood as the network bench run three
+   ways: no recorder at all, a disabled :class:`repro.obs.NullRecorder`
+   (the "tracing compiled out" path — must stay within 2% of untraced),
+   and a full :class:`repro.obs.TraceRecorder` capturing every event.
 
 Usage::
 
@@ -82,6 +86,7 @@ from repro.graphs.csr import (  # noqa: E402
     csr_prim_mst,
 )
 from repro.graphs.mst import kruskal_mst_dicts, prim_mst_dicts  # noqa: E402
+from repro.obs import NullRecorder, TraceRecorder  # noqa: E402
 from repro.protocols.broadcast import FloodProcess  # noqa: E402
 from repro.sim.events import EventQueue  # noqa: E402
 from repro.sim.network import Network  # noqa: E402
@@ -459,6 +464,61 @@ def bench_network(reps: int, quick: bool) -> dict:
     }
 
 
+def bench_tracing(reps: int, quick: bool) -> dict:
+    """The flood bench run untraced, with a disabled recorder, and with a
+    full recorder — the observability subsystem's overhead contract."""
+    n = 24 if quick else 96
+    graph = random_connected_graph(n, 2 * n, seed=11)
+    root = graph.vertices[0]
+
+    def once(recorder):
+        net = Network(graph, lambda v: FloodProcess(v == root, "bench"),
+                      recorder=recorder)
+        t0 = time.perf_counter()
+        result = net.run()
+        return time.perf_counter() - t0, result
+
+    best = {"untraced": float("inf"), "disabled": float("inf"),
+            "recording": float("inf")}
+    messages = {}
+    events = 0
+    # Interleave all three sides per rep; keep minima (noise-robust).
+    # Each run is ~1ms, so extra reps are cheap and the percentages noisy
+    # without them.
+    for _ in range(max(reps, 15)):
+        wall, res = once(None)
+        best["untraced"] = min(best["untraced"], wall)
+        messages["untraced"] = res.message_count
+
+        wall, res = once(NullRecorder())
+        best["disabled"] = min(best["disabled"], wall)
+        messages["disabled"] = res.message_count
+
+        rec = TraceRecorder()
+        wall, res = once(rec)
+        best["recording"] = min(best["recording"], wall)
+        messages["recording"] = res.message_count
+        events = rec.n_emitted
+
+    assert len(set(messages.values())) == 1, ("runs diverged", messages)
+    assert events > 0
+    return {
+        "graph": {"n": n, "m": graph.num_edges},
+        "messages": messages["untraced"],
+        "trace_events": events,
+        "untraced_s": best["untraced"],
+        "disabled_s": best["disabled"],
+        "recording_s": best["recording"],
+        "disabled_overhead_pct":
+            (best["disabled"] / best["untraced"] - 1.0) * 100.0,
+        "recording_overhead_pct":
+            (best["recording"] / best["untraced"] - 1.0) * 100.0,
+        # Higher-is-better form for the --compare gate (~1.0 when the
+        # disabled path costs nothing).
+        "disabled_ratio": best["untraced"] / best["disabled"],
+    }
+
+
 def _legacy_pool_map(fn, cells, jobs):
     """The pre-optimization parallel path: a fresh executor per call,
     chunksize 1, no worker warm-up — every call re-pays pool spin-up and
@@ -551,6 +611,9 @@ def comparable_metrics(report: dict) -> dict:
     cs = report.get("chaos_sweep", {})
     if "speedup" in cs:
         m["chaos_sweep/speedup"] = cs["speedup"]
+    tr = report.get("tracing", {})
+    if "disabled_ratio" in tr:
+        m["tracing/disabled_ratio"] = tr["disabled_ratio"]
     return m
 
 
@@ -641,6 +704,7 @@ def main(argv: list[str] | None = None) -> int:
         "graph_kernels": bench_graph_kernels(reps, args.quick),
         "network": bench_network(reps, args.quick),
         "chaos_sweep": bench_chaos_sweep(args.jobs, args.quick),
+        "tracing": bench_tracing(reps, args.quick),
     }
 
     out = args.out or REPO / f"BENCH_{rev}.json"
@@ -671,6 +735,13 @@ def main(argv: list[str] | None = None) -> int:
           f"legacy pool {cs['legacy_pool_s']:.2f}s "
           f"(pool vs legacy x{cs['pool_vs_legacy']:.2f}), "
           f"identical={cs['identical']}")
+    tr = report["tracing"]
+    print(f"tracing: untraced {tr['untraced_s'] * 1e3:.2f}ms, "
+          f"disabled {tr['disabled_s'] * 1e3:.2f}ms "
+          f"({tr['disabled_overhead_pct']:+.2f}%), "
+          f"recording {tr['recording_s'] * 1e3:.2f}ms "
+          f"({tr['recording_overhead_pct']:+.2f}%, "
+          f"{tr['trace_events']} events)")
     print(f"wrote {out}")
 
     if not cs["identical"]:

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.graphs",
     "repro.covers",
     "repro.sim",
+    "repro.obs",
     "repro.faults",
     "repro.protocols",
     "repro.core",

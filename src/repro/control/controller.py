@@ -62,6 +62,12 @@ class _InnerShim:
     def set_timer(self, delay, callback) -> None:
         self._host.ctx.set_timer(delay, callback)
 
+    def span(self, name: str, detail: Any = None):
+        return self._host.ctx.span(name, detail)
+
+    def trace_pulse(self, pulse: int) -> None:
+        self._host.ctx.trace_pulse(pulse)
+
     def finish(self, result: Any) -> None:
         if not self.is_finished:
             self.is_finished = True
@@ -170,7 +176,9 @@ class ControlledHost(Process):
     def _forward_request(self, req_id, amount: float,
                          origin: Optional[Vertex]) -> None:
         self._backlog[req_id] = origin
-        self.send(self.tree_parent, ("req", req_id, amount), tag="ctl-req")
+        with self.trace_span("ctl-req"):
+            self.send(self.tree_parent, ("req", req_id, amount),
+                      tag="ctl-req")
 
     # -------------------------------------------------------------- #
     # Authorization path
@@ -181,12 +189,15 @@ class ControlledHost(Process):
             return
         if self.is_initiator:
             if self._root_authorize(amount):
-                self.send(child, ("grant", req_id, amount), tag="ctl-grant")
+                with self.trace_span("ctl-grant"):
+                    self.send(child, ("grant", req_id, amount),
+                              tag="ctl-grant")
             return
         if self.mode == "aggregated" and self.pool >= amount:
             # Absorb: spare permits parked here satisfy the child directly.
             self.pool -= amount
-            self.send(child, ("grant", req_id, amount), tag="ctl-grant")
+            with self.trace_span("ctl-grant"):
+                self.send(child, ("grant", req_id, amount), tag="ctl-grant")
         else:
             self._forward_request(req_id, amount, origin=child)
 
@@ -203,7 +214,8 @@ class ControlledHost(Process):
     def _handle_grant(self, req_id, amount: float) -> None:
         origin = self._backlog.pop(req_id)
         if origin is not None:
-            self.send(origin, ("grant", req_id, amount), tag="ctl-grant")
+            with self.trace_span("ctl-grant"):
+                self.send(origin, ("grant", req_id, amount), tag="ctl-grant")
         else:
             self.pool += amount
             self._outstanding_request = False
@@ -223,9 +235,10 @@ class ControlledHost(Process):
             return
         self.halted = True
         self._send_queue.clear()
-        for v in self.neighbors():
-            if v != frm:
-                self.send(v, ("halt",), tag="ctl-halt")
+        with self.trace_span("ctl-halt"):
+            for v in self.neighbors():
+                if v != frm:
+                    self.send(v, ("halt",), tag="ctl-halt")
 
     def inner_finished(self, result: Any) -> None:
         self.finish(result)

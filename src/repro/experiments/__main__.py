@@ -5,10 +5,14 @@
     python -m repro.experiments --markdown    # markdown output
     python -m repro.experiments --jobs 4      # shard experiments across 4 processes
     python -m repro.experiments --list        # show available experiments
+    python -m repro.experiments --trace       # trace every run; print the span profile
+    python -m repro.experiments --trace --trace-out DIR  # also write profile.jsonl
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 
 from .base import all_experiments, render_markdown, render_text
@@ -31,11 +35,30 @@ def _pop_jobs(args: list[str]) -> int | None:
     return None
 
 
+def _pop_trace_out(args: list[str]) -> str | None:
+    """Extract ``--trace-out PATH`` (or ``--trace-out=PATH``), mutating."""
+    for i, a in enumerate(args):
+        if a == "--trace-out":
+            if i + 1 >= len(args):
+                raise SystemExit("--trace-out requires an argument")
+            path = args[i + 1]
+            del args[i:i + 2]
+            return path
+        if a.startswith("--trace-out="):
+            path = a.split("=", 1)[1]
+            del args[i]
+            return path
+    return None
+
+
 def main(argv: list[str]) -> int:
     args = list(argv)
     markdown = "--markdown" in args
     args = [a for a in args if a != "--markdown"]
     jobs = _pop_jobs(args)
+    trace_out = _pop_trace_out(args)
+    trace = "--trace" in args or trace_out is not None
+    args = [a for a in args if a != "--trace"]
     registry = all_experiments()
 
     if "--list" in args:
@@ -50,18 +73,48 @@ def main(argv: list[str]) -> int:
         print(f"available: {', '.join(sorted(registry))}", file=sys.stderr)
         return 2
 
+    if trace and jobs is not None and jobs > 1:
+        # The ambient trace session is process-local: recorders created in
+        # pool workers would never reach this process.  Sweep-level traced
+        # sharding goes through chaos_rows(trace=True) instead.
+        print("--trace forces serial execution (ignoring --jobs)",
+              file=sys.stderr)
+        jobs = None
+
     render = render_markdown if markdown else render_text
-    # One experiment per cell: outputs come back in request order, so the
-    # report reads identically whether sharded or serial.
-    for key, desc, elapsed, tables in run_parallel(
-        run_experiment_by_key, keys, jobs=jobs
-    ):
-        header = f"# {key}: {desc}  ({elapsed:.1f}s)"
-        print(header if markdown else header.lstrip("# "))
-        for table in tables:
+
+    def report(results) -> None:
+        # One experiment per cell: outputs come back in request order, so
+        # the report reads identically whether sharded or serial.
+        for key, desc, elapsed, tables in results:
+            header = f"# {key}: {desc}  ({elapsed:.1f}s)"
+            print(header if markdown else header.lstrip("# "))
+            for table in tables:
+                print()
+                print(render(table))
             print()
-            print(render(table))
-        print()
+
+    if not trace:
+        report(run_parallel(run_experiment_by_key, keys, jobs=jobs))
+        return 0
+
+    from repro.obs import tracing
+
+    # Aggregate-only recorders (limit=0): every Network the experiments
+    # build gets one; the per-span profile prints after the tables.
+    with tracing(limit=0) as session:
+        report(run_parallel(run_experiment_by_key, keys, jobs=jobs))
+    profiler = session.profiler()
+    print(profiler.report())
+    if trace_out is not None:
+        os.makedirs(trace_out, exist_ok=True)
+        path = os.path.join(trace_out, "profile.jsonl")
+        with open(path, "w") as fh:
+            for label, rec in session.recorders:
+                line = {"label": label}
+                line.update(rec.summary().as_dict())
+                fh.write(json.dumps(line, sort_keys=True) + "\n")
+        print(f"wrote {len(session.recorders)} run summaries to {path}")
     return 0
 
 

@@ -242,6 +242,10 @@ class ChaosCell:
     drop: float
     reliable: bool
     fault_seed: int
+    # Attach a trace recorder to the run and ship its aggregate-only
+    # summary back in the row (defaulted so untraced sweeps keep their
+    # exact historical row shape and byte-identity).
+    trace: bool = False
 
 
 def chaos_cells(
@@ -253,6 +257,7 @@ def chaos_cells(
     fault_seed: int = 7,
     include_raw: bool = True,
     protocols: Optional[Sequence[str]] = None,
+    trace: bool = False,
 ) -> list[ChaosCell]:
     """The cell list of a chaos sweep, in serial-matrix row order."""
     if protocols is None:
@@ -265,7 +270,7 @@ def chaos_cells(
             modes = [True] + ([False] if include_raw and rate > 0 else [])
             for reliable in modes:
                 cells.append(ChaosCell(n, extra_edges, graph_seed, name,
-                                       rate, reliable, fault_seed))
+                                       rate, reliable, fault_seed, trace))
     return cells
 
 
@@ -334,12 +339,25 @@ def run_chaos_cell(cell: ChaosCell) -> dict:
     watchdog = 500.0 * max(reference.result.time, 1.0) + 1000.0
     plan = (FaultPlan.message_loss(cell.drop, seed=cell.fault_seed)
             if cell.drop > 0 else None)
+    recorder = None
+    if cell.trace:
+        # Aggregate-only recorder (limit=0): the per-span breakdown ships
+        # back as plain primitives without hauling event logs over IPC.
+        from ..obs import TraceRecorder
+
+        recorder = TraceRecorder(limit=0)
     outcome = run_chaos(
         case.graph, case.factory, plan=plan, reliable=cell.reliable,
         watchdog_time=watchdog, answer=case.answer, expect=reference.answer,
+        recorder=recorder,
     )
-    return _summarize(cell.protocol, cell.drop, cell.reliable, outcome,
-                      ff_cost)
+    row = _summarize(cell.protocol, cell.drop, cell.reliable, outcome,
+                     ff_cost)
+    if cell.trace and outcome.trace is not None:
+        # Added only when tracing, so untraced rows keep their exact
+        # historical shape (serial == pool byte-identity tests).
+        row["trace"] = outcome.trace.as_dict()
+    return row
 
 
 def summarize_chaos_entry(entry: dict) -> dict:
@@ -360,6 +378,7 @@ def chaos_rows(
     fault_seed: int = 7,
     include_raw: bool = True,
     force: Optional[str] = None,
+    trace: bool = False,
 ) -> list[dict]:
     """The chaos matrix as flat summary rows, optionally sharded.
 
@@ -367,11 +386,13 @@ def chaos_rows(
     the same cells, executed by the same worker function, merged in the
     same order.  Pool workers are pre-warmed with this sweep's graph
     shape, so no cell pays suite/reference construction; ``force``
-    passes through to :func:`run_parallel`.
+    passes through to :func:`run_parallel`.  ``trace=True`` adds a
+    ``"trace"`` per-span summary dict to every row (identical serial vs.
+    pool — the recorder travels inside the cell, not via ambient state).
     """
     cells = chaos_cells(n=n, extra_edges=extra_edges, graph_seed=graph_seed,
                         drop_rates=drop_rates, fault_seed=fault_seed,
-                        include_raw=include_raw)
+                        include_raw=include_raw, trace=trace)
     warm = ((n, extra_edges, graph_seed, None),)
     return run_parallel(run_chaos_cell, cells, jobs=jobs, warm=warm,
                         force=force)

@@ -54,6 +54,9 @@ class ChaosOutcome:
     retry_cost: float = 0.0
     retry_count: int = 0
     total_overhead: float = 0.0
+    #: Picklable :class:`~repro.obs.profiler.TraceSummary` of the run when
+    #: a recorder was attached (explicitly or via an ambient session).
+    trace: Any = None
 
     @property
     def detectable_failure(self) -> bool:
@@ -63,6 +66,25 @@ class ChaosOutcome:
     def silent_failure(self) -> bool:
         """True only for the outcome the chaos contract forbids."""
         return self.status == "wrong"
+
+
+def _trace_summary(net: Network, status: str):
+    """Reduce the run's recorder (if any) to a picklable summary.
+
+    On exception paths :meth:`Network.run` never reached its finalize
+    hook, so finalize here; either way the chaos classification is
+    stamped alongside the raw run status.
+    """
+    rec = net._rec
+    if rec is None:
+        return None
+    if "status" not in rec.meta:
+        rec.finalize(net.queue.now, status=status,
+                     events_fired=net.queue.fired)
+    rec.meta["chaos_status"] = status
+    from ..obs.profiler import TraceSummary
+
+    return TraceSummary.from_recorder(rec)
 
 
 def run_chaos(
@@ -79,6 +101,7 @@ def run_chaos(
     serialize: bool = False,
     answer: Optional[Callable[[RunResult], Any]] = None,
     expect: Any = None,
+    recorder: Optional[Any] = None,
 ) -> ChaosOutcome:
     """Run ``factory``'s protocol on ``graph`` under ``plan``.
 
@@ -88,11 +111,16 @@ def run_chaos(
     exists to rule out).  ``watchdog_time`` bounds simulated time; the
     ``max_events`` backstop catches event storms and reports them as
     ``"timeout"`` rather than raising.
+
+    ``recorder`` (or an ambient :func:`repro.obs.runtime.tracing`
+    session) attaches structured tracing; the run's
+    :class:`~repro.obs.profiler.TraceSummary` comes back on
+    ``ChaosOutcome.trace`` for every status, including error paths.
     """
     if reliable:
         factory = reliable_factory(factory, **(transport or {}))
     net = Network(graph, factory, delay=delay, seed=seed,
-                  serialize=serialize, faults=plan)
+                  serialize=serialize, faults=plan, recorder=recorder)
     try:
         # Run to quiescence (no stop_when): trailing acks/retransmissions
         # count toward the measured reliability overhead, and a stall is
@@ -100,22 +128,28 @@ def run_chaos(
         result = net.run(max_time=watchdog_time, max_events=max_events)
     except RuntimeError as exc:  # max_events backstop: a detected hang
         return ChaosOutcome(status="timeout", result=None, error=str(exc),
+                            trace=_trace_summary(net, "timeout"),
                             **reliability_overhead(net.metrics))
     except Exception as exc:  # a process crashed on adversarial input
         return ChaosOutcome(status="error", result=None,
                             error=f"{type(exc).__name__}: {exc}",
+                            trace=_trace_summary(net, "error"),
                             **reliability_overhead(net.metrics))
 
     overhead = reliability_overhead(result.metrics)
     if result.status == "max_time":
-        return ChaosOutcome(status="timeout", result=result, **overhead)
+        return ChaosOutcome(status="timeout", result=result,
+                            trace=_trace_summary(net, "timeout"), **overhead)
     if result.status == "budget_exhausted":
-        return ChaosOutcome(status="aborted", result=result, **overhead)
+        return ChaosOutcome(status="aborted", result=result,
+                            trace=_trace_summary(net, "aborted"), **overhead)
     if not net.all_finished:
-        return ChaosOutcome(status="stalled", result=result, **overhead)
+        return ChaosOutcome(status="stalled", result=result,
+                            trace=_trace_summary(net, "stalled"), **overhead)
 
     value = answer(result) if answer is not None else None
     if answer is not None and expect is not None and value != expect:
         return ChaosOutcome(status="wrong", result=result, answer=value,
-                            **overhead)
-    return ChaosOutcome(status="ok", result=result, answer=value, **overhead)
+                            trace=_trace_summary(net, "wrong"), **overhead)
+    return ChaosOutcome(status="ok", result=result, answer=value,
+                        trace=_trace_summary(net, "ok"), **overhead)

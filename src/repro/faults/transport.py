@@ -80,6 +80,12 @@ class _ReliableContext:
     def set_timer(self, delay: float, callback: Callable[[], None]) -> None:
         self._outer.ctx.set_timer(delay, callback)
 
+    def span(self, name: str, detail: Any = None):
+        return self._outer.ctx.span(name, detail)
+
+    def trace_pulse(self, pulse: int) -> None:
+        self._outer.ctx.trace_pulse(pulse)
+
     def finish(self, result: Any) -> None:
         if not self.is_finished:
             self.is_finished = True
@@ -185,7 +191,8 @@ class ReliableProcess(Process):
         entry[3] = retries + 1
         if retries < self.max_backoff_doublings:
             entry[4] = timeout * 2.0
-        self.send(to, frame, size=size, tag=RETRY_TAG)
+        with self.trace_span(RETRY_TAG):
+            self.send(to, frame, size=size, tag=RETRY_TAG)
         self.set_timer(entry[4], lambda: self._check_ack(to, seq))
 
     # ------------------------------------------------------------------ #
@@ -204,7 +211,8 @@ class ReliableProcess(Process):
                 f"unframed message through ReliableProcess: {payload!r}"
             )
         _, seq, inner_payload = payload
-        self.send(frm, (_ACK, seq), size=self.ack_size, tag=ACK_TAG)
+        with self.trace_span(ACK_TAG):
+            self.send(frm, (_ACK, seq), size=self.ack_size, tag=ACK_TAG)
         expected = self._deliver_next.get(frm, 0)
         if seq < expected:
             return  # duplicate of an already-released frame

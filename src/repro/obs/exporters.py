@@ -1,0 +1,360 @@
+"""Exporters for :class:`~repro.obs.recorder.TraceRecorder` streams.
+
+Three output forms, all dependency-free:
+
+* **JSONL** (:func:`to_jsonl` / :func:`write_jsonl`): one JSON object per
+  line, a ``meta`` header first, keys sorted — byte-identical for
+  identical runs, so determinism tests can compare raw bytes.
+  :func:`validate_jsonl` checks a document against the schema without
+  needing an external JSON-schema package.
+* **Chrome trace_event** (:func:`to_chrome_trace` /
+  :func:`write_chrome_trace`): loadable in ``chrome://tracing`` or
+  `Perfetto <https://ui.perfetto.dev>`_.  Nodes become threads of a
+  ``nodes`` process (spans render as nested slices, pulses/crashes as
+  instants); each directed channel becomes a thread of a ``channels``
+  process where a send→deliver pair renders as one slice whose duration
+  is the in-flight latency; a counter track plots cumulative
+  communication cost.
+* **Timeline text** (:func:`render_timeline`): the causal space-time
+  diagram previously hand-rolled in ``examples/message_timeline.py`` —
+  one column per node, ``>``/``<`` send marks and ``*`` delivery marks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "jsonable", "to_jsonl", "write_jsonl", "validate_jsonl",
+    "to_chrome_trace", "write_chrome_trace", "render_timeline",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce a value into something ``json.dumps`` accepts.
+
+    Primitives pass through, tuples/lists/dicts recurse, anything else
+    becomes its ``repr`` — node ids in this codebase are ints or strings,
+    but protocols are free to use richer payload/detail objects.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _meta_line(recorder: Any) -> dict:
+    meta = {
+        "kind": "meta",
+        "version": _SCHEMA_VERSION,
+        "counts": {k: recorder.counts[k] for k in sorted(recorder.counts)},
+        "cost_by_span": {k: recorder.cost_by_span[k]
+                         for k in sorted(recorder.cost_by_span)},
+        "count_by_span": {k: recorder.count_by_span[k]
+                          for k in sorted(recorder.count_by_span)},
+        "time_by_span": {k: recorder.time_by_span[k]
+                         for k in sorted(recorder.time_by_span)},
+        "comm_cost": recorder.total_cost,
+        "emitted": recorder.n_emitted,
+        "recorded": recorder.n_recorded,
+        "dropped": recorder.dropped,
+        "truncated": recorder.truncated,
+    }
+    for key in sorted(recorder.meta):
+        meta[key] = jsonable(recorder.meta[key])
+    return meta
+
+
+def to_jsonl(recorder: Any) -> str:
+    """Serialize a recorder as JSON Lines (meta header + one event/line)."""
+    lines = [json.dumps(_meta_line(recorder), sort_keys=True)]
+    for ev in recorder.events:
+        lines.append(json.dumps(jsonable(ev.as_dict()), sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(recorder: Any, path: str) -> str:
+    """Write :func:`to_jsonl` output to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        fh.write(to_jsonl(recorder))
+    return path
+
+
+# Per-kind required event fields (beyond seq/t/kind) for validation.
+_REQUIRED: dict[str, tuple[str, ...]] = {
+    "send": ("node", "peer", "tag", "cost", "size", "span"),
+    "deliver": ("node", "peer"),
+    "drop": ("node", "peer", "detail"),
+    "timer": ("node",),
+    "crash": ("node",),
+    "recover": ("node",),
+    "pulse": ("node", "detail"),
+    "finish": ("node",),
+    "span_open": ("span",),
+    "span_close": ("span",),
+}
+
+
+def validate_jsonl(text: str) -> list[str]:
+    """Validate a JSONL trace document; returns a list of error strings
+    (empty means valid).  Checks: meta header first with required keys,
+    every subsequent line a known-kind event with its per-kind required
+    fields, and strictly increasing ``seq``.
+    """
+    errors: list[str] = []
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        return ["empty document"]
+    try:
+        meta = json.loads(lines[0])
+    except ValueError as exc:
+        return [f"line 1: not JSON ({exc})"]
+    if not isinstance(meta, dict) or meta.get("kind") != "meta":
+        errors.append("line 1: first record must have kind == 'meta'")
+        meta = {}
+    for key in ("version", "counts", "cost_by_span", "comm_cost", "emitted",
+                "truncated"):
+        if meta and key not in meta:
+            errors.append(f"line 1: meta missing key {key!r}")
+    from .recorder import EVENT_KINDS
+
+    prev_seq = -1
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            ev = json.loads(line)
+        except ValueError as exc:
+            errors.append(f"line {i}: not JSON ({exc})")
+            continue
+        if not isinstance(ev, dict):
+            errors.append(f"line {i}: not an object")
+            continue
+        kind = ev.get("kind")
+        if kind not in EVENT_KINDS:
+            errors.append(f"line {i}: unknown kind {kind!r}")
+            continue
+        for key in ("seq", "t"):
+            if key not in ev:
+                errors.append(f"line {i}: missing {key!r}")
+        seq = ev.get("seq")
+        if isinstance(seq, int):
+            if seq <= prev_seq:
+                errors.append(f"line {i}: seq {seq} not increasing")
+            prev_seq = seq
+        for key in _REQUIRED[kind]:
+            if key not in ev:
+                errors.append(f"line {i}: {kind} missing {key!r}")
+    return errors
+
+
+# --------------------------------------------------------------------- #
+# Chrome trace_event
+# --------------------------------------------------------------------- #
+
+_US = 1000.0  # sim time unit -> trace microseconds (keeps slices visible)
+
+
+def to_chrome_trace(recorder: Any, name: str = "repro") -> dict:
+    """Build a Chrome ``trace_event`` JSON object for a recorder.
+
+    Process 1 (``nodes``) has one thread per node: spans become nested
+    ``X`` complete slices, pulses/timers/crashes/recoveries/finishes
+    become ``i`` instants.  Process 2 (``channels``) has one thread per
+    directed edge that carried traffic: each send→deliver pair becomes an
+    ``X`` slice spanning the in-flight window (drops render as instants).
+    A ``C`` counter series plots cumulative communication cost.
+    """
+    nodes = recorder.meta.get("nodes") or []
+    tid_of: dict[str, int] = {}
+    events: list[dict] = [
+        {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+         "args": {"name": f"{name}: nodes"}},
+        {"ph": "M", "pid": 2, "tid": 0, "name": "process_name",
+         "args": {"name": f"{name}: channels"}},
+    ]
+
+    def node_tid(node: Any) -> int:
+        key = f"n:{node!r}"
+        tid = tid_of.get(key)
+        if tid is None:
+            tid = len(tid_of) + 1
+            tid_of[key] = tid
+            events.append({"ph": "M", "pid": 1, "tid": tid,
+                           "name": "thread_name",
+                           "args": {"name": f"node {node!r}"}})
+        return tid
+
+    chan_tid_of: dict[str, int] = {}
+
+    def chan_tid(frm: Any, to: Any) -> int:
+        key = f"{frm!r}->{to!r}"
+        tid = chan_tid_of.get(key)
+        if tid is None:
+            tid = len(chan_tid_of) + 1
+            chan_tid_of[key] = tid
+            events.append({"ph": "M", "pid": 2, "tid": tid,
+                           "name": "thread_name", "args": {"name": key}})
+        return tid
+
+    for node in nodes:
+        node_tid(node)
+
+    # Replay span open/close into X slices and pair sends with their fates.
+    open_spans: dict[tuple, list[dict]] = {}
+    sends: dict[int, Any] = {}
+    end_time = recorder.meta.get("end_time", 0.0)
+    cum_cost = 0.0
+    for ev in recorder.events:
+        ts = ev.t * _US
+        if ev.kind == "span_open":
+            rec = {"ph": "X", "pid": 1,
+                   "tid": node_tid(ev.node) if ev.node is not None else 0,
+                   "name": ev.span.rsplit("/", 1)[-1] if ev.span else "span",
+                   "cat": "span", "ts": ts, "dur": 0.0,
+                   "args": {"path": ev.span, "detail": jsonable(ev.detail)}}
+            open_spans.setdefault((ev.node, ev.span), []).append(rec)
+            events.append(rec)
+        elif ev.kind == "span_close":
+            stack = open_spans.get((ev.node, ev.span))
+            if stack:
+                rec = stack.pop()
+                rec["dur"] = max(0.0, ts - rec["ts"])
+        elif ev.kind == "send":
+            cum_cost += ev.cost or 0.0
+            sends[ev.seq] = ev
+            events.append({"ph": "C", "pid": 2, "tid": 0, "name": "comm_cost",
+                           "ts": ts, "args": {"cost": cum_cost}})
+        elif ev.kind == "drop":
+            # Terminal fates consume the send pairing; non-terminal ones
+            # (corrupt, duplicate, reorder) still deliver later.
+            if ev.detail in ("drop", "lost_in_crash") and ev.ref is not None:
+                sends.pop(ev.ref, None)
+            events.append({"ph": "i", "pid": 2,
+                           "tid": chan_tid(ev.peer, ev.node),
+                           "name": f"drop:{ev.detail}", "cat": "drop",
+                           "ts": ts, "s": "t", "args": {"ref": ev.ref}})
+        elif ev.kind == "deliver":
+            send_ev = sends.pop(ev.ref, None) if ev.ref is not None else None
+            tid = chan_tid(ev.peer, ev.node)
+            start = send_ev.t * _US if send_ev is not None else ts
+            tag = send_ev.tag if send_ev is not None else "msg"
+            cost = send_ev.cost if send_ev is not None else None
+            events.append({"ph": "X", "pid": 2, "tid": tid, "name": tag,
+                           "cat": "message", "ts": start,
+                           "dur": max(0.0, ts - start),
+                           "args": {"cost": cost, "ref": ev.ref,
+                                    "span": getattr(send_ev, "span", None)}})
+        elif ev.kind in ("pulse", "timer", "crash", "recover", "finish"):
+            events.append({"ph": "i", "pid": 1, "tid": node_tid(ev.node),
+                           "name": (f"pulse {ev.detail}" if ev.kind == "pulse"
+                                    else ev.kind),
+                           "cat": ev.kind, "ts": ts, "s": "t", "args": {}})
+    # Sends still in flight at the end of a retained (or truncated) log.
+    for send_ev in sends.values():
+        tid = chan_tid(send_ev.node, send_ev.peer)
+        ts = send_ev.t * _US
+        dur = max(0.0, end_time * _US - ts)
+        events.append({"ph": "X", "pid": 2, "tid": tid,
+                       "name": f"{send_ev.tag} (in flight)", "cat": "message",
+                       "ts": ts, "dur": dur,
+                       "args": {"cost": send_ev.cost, "ref": send_ev.seq}})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "name": name,
+            "comm_cost": recorder.total_cost,
+            "cost_by_span": {k: recorder.cost_by_span[k]
+                             for k in sorted(recorder.cost_by_span)},
+            "time_by_span": {k: recorder.time_by_span[k]
+                             for k in sorted(recorder.time_by_span)},
+            "status": jsonable(recorder.meta.get("status")),
+            "truncated": recorder.truncated,
+        },
+    }
+
+
+def write_chrome_trace(recorder: Any, path: str, name: str = "repro") -> str:
+    """Write :func:`to_chrome_trace` JSON to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(recorder, name=name), fh, sort_keys=True)
+    return path
+
+
+# --------------------------------------------------------------------- #
+# Timeline text renderer
+# --------------------------------------------------------------------- #
+
+def render_timeline(recorder: Any, time_step: float = 1.0,
+                    max_rows: int = 40, col_width: int = 7) -> str:
+    """Render a causal space-time diagram of the retained events.
+
+    One column per node (ordered as in ``meta['nodes']``), one row per
+    ``time_step`` of simulated time.  A cell shows ``>``/``<`` when the
+    node sent toward a higher/lower column, ``*`` when a delivery
+    arrived, ``x`` for a drop, ``P<k>`` for pulse *k*, ``!``/``+`` for
+    crash/recover and ``#`` for finish; multiple marks in one window
+    concatenate.  Rows beyond ``max_rows`` collapse into an ellipsis.
+    """
+    nodes = list(recorder.meta.get("nodes") or [])
+    if not nodes:
+        seen = []
+        for ev in recorder.events:
+            for v in (ev.node, ev.peer):
+                if v is not None and v not in seen:
+                    seen.append(v)
+        nodes = sorted(seen, key=repr)
+    col = {v: i for i, v in enumerate(nodes)}
+    rows: dict[int, dict[int, list[str]]] = {}
+
+    def mark(t: float, node: Any, text: str) -> None:
+        if node not in col:
+            return
+        r = int(t / time_step)
+        rows.setdefault(r, {}).setdefault(col[node], []).append(text)
+
+    for ev in recorder.events:
+        if ev.kind == "send":
+            arrow = ">" if col.get(ev.peer, -1) > col.get(ev.node, -1) else "<"
+            mark(ev.t, ev.node, arrow)
+        elif ev.kind == "deliver":
+            mark(ev.t, ev.node, "*")
+        elif ev.kind == "drop":
+            mark(ev.t, ev.node, "x")
+        elif ev.kind == "pulse":
+            mark(ev.t, ev.node, f"P{ev.detail}")
+        elif ev.kind == "crash":
+            mark(ev.t, ev.node, "!")
+        elif ev.kind == "recover":
+            mark(ev.t, ev.node, "+")
+        elif ev.kind == "finish":
+            mark(ev.t, ev.node, "#")
+
+    header = "t".rjust(8) + " | " + "".join(
+        repr(v).center(col_width) for v in nodes)
+    sep = "-" * len(header)
+    out = [header, sep]
+    row_ids = sorted(rows)
+    shown = row_ids if len(row_ids) <= max_rows else row_ids[:max_rows]
+    for r in shown:
+        cells = rows[r]
+        line = f"{r * time_step:8.1f} | " + "".join(
+            "".join(cells.get(c, [])).center(col_width)
+            for c in range(len(nodes)))
+        out.append(line.rstrip())
+    if len(row_ids) > max_rows:
+        out.append(f"... ({len(row_ids) - max_rows} more rows)")
+    out.append(sep)
+    counts = recorder.counts
+    out.append(
+        "events: "
+        + ", ".join(f"{k}={counts[k]}" for k in sorted(counts))
+        + f" | comm_cost={recorder.total_cost:g}"
+        + (" | TRUNCATED" if recorder.truncated else "")
+    )
+    return "\n".join(out)

@@ -1,0 +1,181 @@
+"""Cross-run aggregation of trace streams.
+
+A sweep (``repro.experiments.parallel``) runs hundreds of cells in pool
+workers; shipping every cell's full event log back through a pickle
+would swamp the IPC that PR 3 worked to make cheap.  Instead each worker
+reduces its recorder to a :class:`TraceSummary` — plain sorted dicts and
+scalars, a few hundred bytes — and the parent-side :class:`Profiler`
+folds the summaries into per-key and aggregate phase breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["TraceSummary", "Profiler"]
+
+
+def _sorted_dict(d: dict) -> dict:
+    return {k: d[k] for k in sorted(d)}
+
+
+@dataclass
+class TraceSummary:
+    """Picklable reduction of one run's :class:`~repro.obs.recorder.TraceRecorder`.
+
+    Only primitives and plain dicts — safe to pickle across process
+    boundaries, embed in sweep rows, or serialize as JSON.
+    """
+
+    counts: dict = field(default_factory=dict)
+    cost_by_span: dict = field(default_factory=dict)
+    count_by_span: dict = field(default_factory=dict)
+    time_by_span: dict = field(default_factory=dict)
+    comm_cost: float = 0.0
+    emitted: int = 0
+    recorded: int = 0
+    dropped: int = 0
+    truncated: bool = False
+    status: Optional[str] = None
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_recorder(cls, recorder: Any) -> "TraceSummary":
+        from .exporters import jsonable
+
+        meta = {k: jsonable(v) for k, v in sorted(recorder.meta.items())
+                if k not in ("nodes", "status")}
+        return cls(
+            counts=_sorted_dict(recorder.counts),
+            cost_by_span=_sorted_dict(recorder.cost_by_span),
+            count_by_span=_sorted_dict(recorder.count_by_span),
+            time_by_span=_sorted_dict(recorder.time_by_span),
+            comm_cost=recorder.total_cost,
+            emitted=recorder.n_emitted,
+            recorded=recorder.n_recorded,
+            dropped=recorder.dropped,
+            truncated=recorder.truncated,
+            status=recorder.meta.get("status"),
+            meta=meta,
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (stable key order) for JSON export / rows."""
+        return {
+            "counts": _sorted_dict(self.counts),
+            "cost_by_span": _sorted_dict(self.cost_by_span),
+            "count_by_span": _sorted_dict(self.count_by_span),
+            "time_by_span": _sorted_dict(self.time_by_span),
+            "comm_cost": self.comm_cost,
+            "emitted": self.emitted,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "truncated": self.truncated,
+            "status": self.status,
+            "meta": _sorted_dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceSummary":
+        return cls(**{k: d.get(k, v.default_factory() if callable(
+            getattr(v, "default_factory", None)) else v.default)
+            for k, v in cls.__dataclass_fields__.items()})
+
+
+class Profiler:
+    """Aggregates :class:`TraceSummary` objects across a sweep.
+
+    Feed it with :meth:`add` (explicit key), :meth:`add_recorder`, or
+    :meth:`from_rows` (sweep rows carrying a ``"trace"`` dict as produced
+    by ``repro.experiments.parallel`` with ``trace=True``); then
+    :meth:`aggregate` returns totals and :meth:`report` renders a text
+    table of per-span cost/time shares.
+    """
+
+    def __init__(self) -> None:
+        self.summaries: list[tuple[str, TraceSummary]] = []
+
+    def __len__(self) -> int:
+        return len(self.summaries)
+
+    def add(self, key: str, summary: TraceSummary) -> None:
+        self.summaries.append((key, summary))
+
+    def add_recorder(self, key: str, recorder: Any) -> None:
+        self.add(key, TraceSummary.from_recorder(recorder))
+
+    def from_rows(self, rows: list, key_fields: tuple = ("protocol", "drop",
+                                                         "reliable")) -> int:
+        """Ingest sweep rows that carry a ``"trace"`` summary dict.
+
+        Returns the number of rows ingested (rows without a trace are
+        skipped, so it is safe to feed a mixed sweep).
+        """
+        n = 0
+        for row in rows:
+            trace = row.get("trace")
+            if not trace:
+                continue
+            key = "/".join(str(row.get(f, "?")) for f in key_fields)
+            self.add(key, TraceSummary.from_dict(trace))
+            n += 1
+        return n
+
+    def aggregate(self) -> dict:
+        """Fold all summaries: total cost/time/event counts per span."""
+        cost: dict[str, float] = {}
+        count: dict[str, int] = {}
+        time: dict[str, float] = {}
+        kinds: dict[str, int] = {}
+        total = 0.0
+        emitted = 0
+        truncated = 0
+        for _, s in self.summaries:
+            total += s.comm_cost
+            emitted += s.emitted
+            truncated += 1 if s.truncated else 0
+            for k, v in s.cost_by_span.items():
+                cost[k] = cost.get(k, 0.0) + v
+            for k, v in s.count_by_span.items():
+                count[k] = count.get(k, 0) + v
+            for k, v in s.time_by_span.items():
+                time[k] = time.get(k, 0.0) + v
+            for k, v in s.counts.items():
+                kinds[k] = kinds.get(k, 0) + v
+        return {
+            "runs": len(self.summaries),
+            "comm_cost": total,
+            "events": emitted,
+            "truncated_runs": truncated,
+            "cost_by_span": _sorted_dict(cost),
+            "count_by_span": _sorted_dict(count),
+            "time_by_span": _sorted_dict(time),
+            "counts": _sorted_dict(kinds),
+        }
+
+    def report(self, top: int = 20) -> str:
+        """Human-readable per-span cost/time table across all runs."""
+        agg = self.aggregate()
+        total = agg["comm_cost"] or 1.0
+        lines = [
+            f"trace profile: {agg['runs']} run(s), "
+            f"{agg['events']} events, comm_cost={agg['comm_cost']:g}"
+        ]
+        if agg["truncated_runs"]:
+            lines.append(f"  ({agg['truncated_runs']} run(s) ring-truncated; "
+                         "aggregates remain exact)")
+        lines.append(f"  {'span':<28} {'cost':>12} {'share':>7} "
+                     f"{'sends':>8} {'time':>10}")
+        spans = sorted(agg["cost_by_span"],
+                       key=lambda k: (-agg["cost_by_span"][k], k))
+        for k in spans[:top]:
+            c = agg["cost_by_span"][k]
+            lines.append(
+                f"  {(k or '(root)'):<28} {c:>12g} {c / total:>6.1%} "
+                f"{agg['count_by_span'].get(k, 0):>8} "
+                f"{agg['time_by_span'].get(k, 0.0):>10g}"
+            )
+        if len(spans) > top:
+            lines.append(f"  ... {len(spans) - top} more span(s)")
+        return "\n".join(lines)

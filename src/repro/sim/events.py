@@ -87,6 +87,11 @@ class EventQueue:
         #: Cooperative halt flag checked once per event by :meth:`run`.
         #: A callback may set it to stop the drain loop after it returns.
         self.halted: bool = False
+        #: Cumulative count of events dispatched over this queue's
+        #: lifetime (all drains and steps).  Observability surfaces
+        #: (``repro.obs``) cross-check a run's trace against it; updated
+        #: per drain, not per event, so the hot loop is unaffected.
+        self.fired: int = 0
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -222,6 +227,7 @@ class EventQueue:
         args = entry[i + 1]
         entry[2] = i + 2
         self._size -= 1
+        self.fired += 1
         fn(*args)
         # Retire only after the callback ran: it may have appended new
         # same-time events to this very batch.
@@ -319,6 +325,7 @@ class EventQueue:
             return ("empty", events)
         finally:
             # One batched update instead of a per-event decrement; the
-            # finally keeps the count consistent even when a callback
+            # finally keeps the counts consistent even when a callback
             # raises out of the loop.
             self._size -= events
+            self.fired += events

@@ -47,6 +47,26 @@ class Metrics:
             if any(t.startswith(p) for p in prefixes)
         )
 
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot for exporters and sweep rows.
+
+        Tag and fault maps are materialized as ordinary dicts with sorted
+        keys (no ``defaultdict``), so the result is JSON-serializable and
+        byte-stable under ``json.dumps(sort_keys=True)``.
+        """
+        return {
+            "message_count": self.message_count,
+            "comm_cost": self.comm_cost,
+            "completion_time": self.completion_time,
+            "last_finish_time": self.last_finish_time,
+            "cost_by_tag": {t: self.cost_by_tag[t]
+                            for t in sorted(self.cost_by_tag)},
+            "count_by_tag": {t: self.count_by_tag[t]
+                             for t in sorted(self.count_by_tag)},
+            "fault_counts": {k: self.fault_counts[k]
+                             for k in sorted(self.fault_counts)},
+        }
+
     def summary(self) -> str:
         parts = [
             f"messages={self.message_count}",

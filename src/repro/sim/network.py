@@ -22,15 +22,20 @@ from __future__ import annotations
 
 import random
 from collections.abc import Callable
+from contextlib import nullcontext
 from typing import Any, Optional
 
 from ..graphs.weighted_graph import Vertex, WeightedGraph
+from ..obs.runtime import default_recorder as _default_recorder
 from .delays import DelayModel, MaximalDelay
 from .events import EventQueue
 from .metrics import Metrics
 from .process import Process
 
 __all__ = ["Network", "RunResult"]
+
+# Shared no-op span for untraced runs (nullcontext is reusable/reentrant).
+_NULL_SPAN = nullcontext()
 
 
 class _NodeContext:
@@ -63,6 +68,19 @@ class _NodeContext:
             self.is_finished = True
             self.result = result
             self._network._node_finished(self.node_id)
+
+    def span(self, name: str, detail: Any = None):
+        """Open a named trace span attributed to this node (no-op untraced)."""
+        rec = self._network._rec
+        if rec is None:
+            return _NULL_SPAN
+        return rec.span(name, node=self.node_id, detail=detail)
+
+    def trace_pulse(self, pulse: int) -> None:
+        """Record a synchronizer pulse for this node (no-op untraced)."""
+        net = self._network
+        if net._rec is not None:
+            net._rec.record_pulse(net.queue.now, self.node_id, pulse)
 
 
 class RunResult:
@@ -139,6 +157,15 @@ class Network:
         Optional fault adversary (``repro.faults.FaultPlan``; any object
         with the same ``seed`` / ``crashes`` / ``fate`` surface works).
         Decides the fate of every transmission and supplies crash windows.
+    recorder:
+        Optional :class:`~repro.obs.recorder.TraceRecorder` receiving a
+        structured record of every send/deliver/drop/timer/crash/recover/
+        pulse/finish.  Defaults to the ambient
+        :func:`repro.obs.runtime.tracing` session's recorder when one is
+        active, else no tracing.  A recorder with ``enabled = False``
+        (e.g. :class:`~repro.obs.recorder.NullRecorder`) is normalized
+        away at construction so the hot path pays a single ``is None``
+        check.  Composes with ``trace``: when both are given, both fire.
     """
 
     def __init__(
@@ -153,6 +180,7 @@ class Network:
         comm_budget: Optional[float] = None,
         trace: Optional[Callable[[float, Vertex, Vertex, str, float], None]] = None,
         faults: Optional[Any] = None,
+        recorder: Optional[Any] = None,
     ) -> None:
         self.graph = graph
         self.queue = EventQueue()
@@ -169,7 +197,21 @@ class Network:
         self.budget_exhausted = False
         # Optional observer: called as trace(time, frm, to, tag, cost) for
         # every accepted transmission (debugging / timeline visualisation).
+        # Composes with a recorder — both fire for every accepted send.
         self.trace = trace
+        # Structured recorder (repro.obs).  `_rec` is the normalized hot-
+        # path handle: None unless a recorder is present *and* enabled, so
+        # the untraced fast path is one identity check per event.
+        if recorder is None:
+            recorder = _default_recorder()
+        self.recorder = recorder
+        self._rec = (
+            recorder
+            if recorder is not None and getattr(recorder, "enabled", True)
+            else None
+        )
+        if self._rec is not None:
+            self._rec.attach(self)
         # Fault adversary.  Its randomness comes from a *separate* RNG so
         # that adding faults never perturbs the delay-model stream, and
         # identical (graph, protocol, plan, seed) runs replay exactly.
@@ -206,12 +248,15 @@ class Network:
             # this flag after every event when a budget is configured).
             self.queue.halted = True
             return
-        self.metrics.record_message(weight, size, tag or self.default_tag)
-        if self.trace is not None:
-            self.trace(self.queue.now, frm, to, tag or self.default_tag,
-                       weight * size)
-        delay = self.delay_model.delay(frm, to, weight, self.rng)
+        tag = tag or self.default_tag
+        self.metrics.record_message(weight, size, tag)
         now = self.queue.now
+        rec = self._rec
+        if self.trace is not None:
+            self.trace(now, frm, to, tag, weight * size)
+        if rec is not None:
+            msg_id = rec.record_send(now, frm, to, tag, weight * size, size)
+        delay = self.delay_model.delay(frm, to, weight, self.rng)
         channel = (frm, to)
         if self.serialize:
             start = max(now, self._channel_clear.get(channel, 0.0))
@@ -230,24 +275,53 @@ class Network:
             # schedule_call_at stores (fn, args) in the event's slots: no
             # capturing closure is allocated per message, and same-time
             # deliveries batch into one heap entry (see sim.events).
-            self.queue.schedule_call_at(arrive, self._deliver, frm, to, payload)
+            if rec is None:
+                self.queue.schedule_call_at(arrive, self._deliver,
+                                            frm, to, payload)
+            else:
+                self.queue.schedule_call_at(arrive, self._deliver_traced,
+                                            frm, to, payload, msg_id)
             return
         fate, deliveries = self.faults.fate(frm, to, weight, payload,
                                             self.fault_rng)
         if fate != "deliver":
             self.metrics.record_fault(fate)
+            if rec is not None:
+                rec.record_drop(now, frm, to, fate, ref=msg_id)
         for extra, out_payload in deliveries:
             # Extra adversarial delay (duplicates, reorders) bypasses the
             # FIFO clamp on purpose: later messages may overtake.
-            self.queue.schedule_call_at(
-                arrive + extra, self._deliver, frm, to, out_payload
-            )
+            if rec is None:
+                self.queue.schedule_call_at(
+                    arrive + extra, self._deliver, frm, to, out_payload
+                )
+            else:
+                self.queue.schedule_call_at(
+                    arrive + extra, self._deliver_traced,
+                    frm, to, out_payload, msg_id
+                )
 
     def _deliver(self, frm: Vertex, to: Vertex, payload: Any) -> None:
         if to in self._down:
             # In-flight messages addressed to a crashed node are lost.
             self.metrics.record_fault("lost_in_crash")
             return
+        self.metrics.completion_time = self.queue.now
+        self.processes[to].on_message(frm, payload)
+
+    def _deliver_traced(self, frm: Vertex, to: Vertex, payload: Any,
+                        ref: int) -> None:
+        """Traced twin of :meth:`_deliver`; ``ref`` is the send's seq.
+
+        A separate method (selected at schedule time) so the untraced
+        delivery path carries no recorder check at all.
+        """
+        if to in self._down:
+            self.metrics.record_fault("lost_in_crash")
+            self._rec.record_drop(self.queue.now, frm, to, "lost_in_crash",
+                                  ref=ref)
+            return
+        self._rec.record_deliver(self.queue.now, frm, to, ref=ref)
         self.metrics.completion_time = self.queue.now
         self.processes[to].on_message(frm, payload)
 
@@ -260,20 +334,28 @@ class Network:
             # Defer, don't drop: local clocks survive a crash, so timers
             # that expired during the outage fire at recovery time (this is
             # what keeps retransmission loops alive across crashes).
+            if self._rec is not None:
+                self._rec.record_timer(self.queue.now, node, deferred=True)
             self._deferred_timers.setdefault(node, []).append(callback)
         else:
+            if self._rec is not None:
+                self._rec.record_timer(self.queue.now, node)
             callback()
 
     def _crash(self, node: Vertex) -> None:
         if node not in self._down:
             self._down.add(node)
             self.metrics.record_fault("crash")
+            if self._rec is not None:
+                self._rec.record_crash(self.queue.now, node)
 
     def _recover(self, node: Vertex) -> None:
         if node not in self._down:
             return
         self._down.discard(node)
         self.metrics.record_fault("recover")
+        if self._rec is not None:
+            self._rec.record_recover(self.queue.now, node)
         for cb in self._deferred_timers.pop(node, []):
             self.queue.schedule(0.0, cb)
         self.processes[node].on_recover()
@@ -285,6 +367,8 @@ class Network:
         self._finished_count += 1
         self.metrics.completion_time = self.queue.now
         self.metrics.last_finish_time = self.queue.now
+        if self._rec is not None:
+            self._rec.record_finish(self.queue.now, node)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -322,11 +406,12 @@ class Network:
         for proc in self.processes.values():
             proc.on_start()
         status = "quiescent"
+        fired = 0
         if stop_when is None:
             # Fast path: let the queue drain itself in one tight loop.
             # The halt probe is only needed when a budget can suppress
             # sends mid-run (the only thing that halts the queue).
-            reason, _ = self.queue.run(
+            reason, fired = self.queue.run(
                 max_time=max_time,
                 max_events=max_events,
                 check_halt=self.comm_budget is not None,
@@ -353,8 +438,14 @@ class Network:
                 if events >= max_events:
                     raise RuntimeError(
                         f"exceeded {max_events} events; runaway protocol?")
+            fired = events
         if self.budget_exhausted:
             status = "budget_exhausted"
+        if self._rec is not None:
+            # Close any spans still open, stamp the outcome, and record
+            # the EventQueue's view of the same run for cross-checking.
+            self._rec.finalize(self.queue.now, status=status,
+                               events_fired=fired)
         # Note: quiescing without meeting stop_when is not an error at this
         # level; callers (runners) decide how to interpret an unfinished run.
         return RunResult(self.metrics, self.processes, status=status)

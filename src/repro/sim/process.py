@@ -81,6 +81,19 @@ class Process:
         """Mark this node's protocol as locally complete with a result."""
         self.ctx.finish(result)
 
+    def trace_span(self, name: str, detail: Any = None):
+        """Context manager opening a named trace span for this node.
+
+        Sends issued inside the ``with`` body are attributed to the span
+        (see ``repro.obs``).  A shared no-op when the run is untraced, so
+        layered protocols may wrap their control traffic unconditionally.
+        """
+        return self.ctx.span(name, detail)
+
+    def trace_pulse(self, pulse: int) -> None:
+        """Record a synchronizer pulse for this node (no-op untraced)."""
+        self.ctx.trace_pulse(pulse)
+
     @property
     def finished(self) -> bool:
         return self.ctx.is_finished

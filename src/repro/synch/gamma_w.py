@@ -140,12 +140,14 @@ class GammaWHost(Process):
             self.gammas[i] = GammaNode(
                 self._node,
                 self.config.partitions[i],
-                send=lambda to, msg, i=i: self.send(
-                    to, ("gamma", i, msg), tag=f"sync-gamma"
-                ),
+                send=lambda to, msg, i=i: self._send_gamma(to, i, msg),
                 on_go=lambda P, i=i: self._on_go(i, P),
             )
         self._advance()
+
+    def _send_gamma(self, to: Vertex, i: int, msg: Any) -> None:
+        with self.trace_span("sync-gamma", detail=i):
+            self.send(to, ("gamma", i, msg), tag="sync-gamma")
 
     def on_message(self, frm: Vertex, payload: Any) -> None:
         kind = payload[0]
@@ -153,7 +155,8 @@ class GammaWHost(Process):
             _, wire, send_pulse = payload
             arrive_pulse = send_pulse + int(self.edge_weight(frm))
             self._inbox[arrive_pulse].append((frm, wire))
-            self.send(frm, ("ack", send_pulse), tag="sync-ack")
+            with self.trace_span("sync-ack"):
+                self.send(frm, ("ack", send_pulse), tag="sync-ack")
             self._advance()
         elif kind == "ack":
             _, send_pulse = payload
@@ -217,6 +220,10 @@ class GammaWHost(Process):
         try:
             while self._may_execute(self.next_pulse):
                 pulse = self.next_pulse
+                # Rolls this node's "pulse" trace span: protocol sends of
+                # the pulse (and nested ack/gamma traffic until the next
+                # pulse) are attributed under it (no-op untraced).
+                self.trace_pulse(pulse)
                 self.wrapper.on_pulse(pulse, self._inbox.pop(pulse, []))
                 self.next_pulse = pulse + 1
                 self.pulses_executed += 1
@@ -274,6 +281,7 @@ def run_gamma_w(
     seed: int = 0,
     config: Optional[GammaWConfig] = None,
     budget: Optional[float] = None,
+    recorder: Optional[Any] = None,
 ) -> GammaWResult:
     """Run a synchronous protocol on an asynchronous network via gamma_w.
 
@@ -282,6 +290,11 @@ def run_gamma_w(
     soon as every node's hosted protocol has finished, or — when ``budget``
     is given — as soon as the communication cost reaches the budget (the
     result's ``completed`` flag is then False).
+
+    ``recorder`` attaches structured tracing (``repro.obs``): each node's
+    pulses roll a ``pulse`` span, with ``sync-ack``/``sync-gamma``
+    sub-spans for the synchronizer's control traffic, so the per-span
+    cost breakdown of the trace refines this function's tag accounting.
     """
     cfg = config if config is not None else GammaWConfig(graph, k)
     net = Network(
@@ -290,6 +303,7 @@ def run_gamma_w(
         delay=delay,
         seed=seed,
         comm_budget=budget,
+        recorder=recorder,
     )
     net_result = net.run(stop_when=lambda nw: nw.all_finished)
     if not net.all_finished:

@@ -118,7 +118,8 @@ class SynchronizerHostBase(Process):
             _, wire, send_pulse = payload
             arrive_pulse = send_pulse + int(self.edge_weight(frm))
             self._inbox[arrive_pulse].append((frm, wire))
-            self.send(frm, ("ack", send_pulse), tag="sync-ack")
+            with self.trace_span("sync-ack"):
+                self.send(frm, ("ack", send_pulse), tag="sync-ack")
             self._advance()
         elif kind == "ack":
             self._on_ack(frm, payload[1])
@@ -144,6 +145,9 @@ class SynchronizerHostBase(Process):
                 self.next_pulse
             ):
                 pulse = self.next_pulse
+                # Rolls this node's "pulse" trace span (no-op untraced);
+                # control traffic until the next pulse nests under it.
+                self.trace_pulse(pulse)
                 self.wrapper.on_pulse(pulse, self._inbox.pop(pulse, []))
                 self.next_pulse = pulse + 1
                 self.pulses_executed += 1

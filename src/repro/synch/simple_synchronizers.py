@@ -71,8 +71,9 @@ class AlphaWHost(SynchronizerHostBase):
         if self._pending_acks[pulse] > 0:
             return
         self._safe_sent.add(pulse)
-        for v in self.neighbors():
-            self.send(v, ("safe", pulse), tag="sync-alpha")
+        with self.trace_span("sync-alpha", detail=pulse):
+            for v in self.neighbors():
+                self.send(v, ("safe", pulse), tag="sync-alpha")
 
     def handle_control(self, frm: Vertex, payload: Any) -> None:
         kind, pulse = payload
@@ -124,15 +125,17 @@ class BetaWHost(SynchronizerHostBase):
             return
         self._reported.add(pulse)
         if self.tree_parent is not None:
-            self.send(self.tree_parent, ("subtree_safe", pulse),
-                      tag="sync-beta")
+            with self.trace_span("sync-beta", detail=pulse):
+                self.send(self.tree_parent, ("subtree_safe", pulse),
+                          tag="sync-beta")
         else:
             self._issue_go(pulse + 1)
 
     def _issue_go(self, pulse: int) -> None:
         self._go_pulse = max(self._go_pulse, pulse)
-        for c in self.tree_children:
-            self.send(c, ("go", pulse), tag="sync-beta")
+        with self.trace_span("sync-beta", detail=pulse):
+            for c in self.tree_children:
+                self.send(c, ("go", pulse), tag="sync-beta")
         self._advance()
 
     def handle_control(self, frm: Vertex, payload: Any) -> None:
