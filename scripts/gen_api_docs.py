@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.synch",
     "repro.control",
     "repro.experiments",
+    "repro.analysis",
 ]
 
 

@@ -116,6 +116,43 @@ def main(argv: list[str] | None = None) -> int:
     summary_path = args.out_dir / "summary.json"
     summary_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"summary written: {summary_path}")
+
+    # 5. Race-detect smoke: one clean chaos cell under the shared-state
+    #    detector must still succeed, and a planted post-send payload
+    #    mutation must be caught as a detectable failure.
+    clean = run_chaos(
+        graph,
+        lambda v: FloodProcess(v == graph.vertices[0], "smoke"),
+        plan=FaultPlan.message_loss(0.05, seed=42),
+        reliable=True,
+        watchdog_time=1e6,
+        race_detect=True,
+    )
+    if clean.status != "ok":
+        fail(f"race_detect=True broke a clean run: {clean.status} "
+             f"({clean.error})")
+    print("race detector: clean cell ok")
+
+    class MutatingFlood(FloodProcess):
+        def on_start(self):
+            if self.is_initiator:
+                self._got_it = True
+                self.finish((tuple(self.payload), None))
+                for v in self.neighbors():
+                    self.send(v, self.payload, tag="flood")
+                self.payload.append("tampered")  # post-send mutation
+
+    planted = run_chaos(
+        graph,
+        lambda v: MutatingFlood(v == graph.vertices[0], ["smoke"]),
+        reliable=False,
+        watchdog_time=1e6,
+        race_detect=True,
+    )
+    if planted.status != "error" or "SharedStateViolation" not in (planted.error or ""):
+        fail(f"race detector missed planted mutation: {planted.status} "
+             f"({planted.error})")
+    print(f"race detector caught planted mutation: {planted.error.splitlines()[0]}")
     print("trace smoke OK")
     return 0
 

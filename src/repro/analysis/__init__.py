@@ -1,0 +1,38 @@
+"""Correctness tooling for the determinism contract (``repro.analysis``).
+
+Everything the perf and chaos subsystems guarantee — serial == pool sweep
+rows, byte-identical trace fingerprints, the bench ``--compare`` gate —
+assumes each simulation is a pure function of its seeds.  This package
+*enforces* the coding rules that make that true, in the spirit of the
+distributed-verification line of work the paper's MST section builds on:
+
+* a **static pass** (``python -m repro.analysis``): an AST linter with
+  rule codes ``RS001``–``RS005`` covering hash-order iteration, seeded-RNG
+  bypass, wall-clock reads, graph-cache invalidation, and shared-state
+  aliasing (:mod:`repro.analysis.rules`), with a committed-baseline gate
+  (:mod:`repro.analysis.baseline`) so CI fails only on *new* findings;
+
+* a **runtime pass**: ``Network(race_detect=True)`` arms
+  :class:`~repro.analysis.race.RaceDetector`, which ownership-tags every
+  process and fingerprints every in-flight payload, raising (or, in
+  ``"record"`` mode, logging) a :class:`SharedStateViolation` on
+  cross-process writes and post-send payload mutation.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, BaselineError, diff_against
+from .findings import Finding
+from .race import RaceDetector, SharedStateViolation
+from .rules import RULES, analyze_source
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "analyze_source",
+    "Baseline",
+    "BaselineError",
+    "diff_against",
+    "RaceDetector",
+    "SharedStateViolation",
+]

@@ -1,0 +1,141 @@
+"""CLI for the determinism linter: ``python -m repro.analysis``.
+
+Walks the given paths (default: the ``repro`` package source it is running
+from), applies every rule in :mod:`repro.analysis.rules`, and prints the
+findings deterministically sorted — as text, or as JSONL with ``--format
+jsonl`` (one finding object per line, machine-diffable).
+
+Exit status: 0 when every finding is covered by the baseline (or there are
+none), 1 when new findings exist, 2 on usage errors.  ``--write-baseline``
+accepts the current findings into the baseline file (each entry carries a
+justification — edit it to say *why* each one is acceptable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import Baseline, BaselineError, diff_against
+from .findings import Finding
+from .rules import RULES, analyze_source
+
+__all__ = ["main", "collect_findings"]
+
+
+def _iter_py_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise SystemExit(f"repro.analysis: not a python file or dir: {path}")
+    return files
+
+
+def _rel(path: Path) -> str:
+    """Repo-relative posix path when possible (stable baseline keys)."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def collect_findings(paths: list[Path],
+                     rules: list[str] | None = None) -> list[Finding]:
+    """All findings over ``paths``, deterministically sorted."""
+    findings: list[Finding] = []
+    for file in _iter_py_files(paths):
+        source = file.read_text(encoding="utf-8")
+        findings.extend(analyze_source(source, path=_rel(file), rules=rules))
+    return sorted(findings)
+
+
+def _default_target() -> Path:
+    """The installed ``repro`` package source tree."""
+    return Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="determinism linter for the repro simulation codebase",
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to scan "
+                             "(default: the repro package)")
+    parser.add_argument("--format", choices=("text", "jsonl"), default="text")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule codes to run "
+                             f"(default: all of {','.join(sorted(RULES))})")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline JSON; findings it covers do not fail")
+    parser.add_argument("--write-baseline", type=Path, default=None,
+                        metavar="PATH",
+                        help="accept current findings into PATH and exit 0")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+
+    rules = None
+    if args.rules is not None:
+        rules = [c.strip() for c in args.rules.split(",") if c.strip()]
+        unknown = [c for c in rules if c not in RULES]
+        if unknown:
+            print(f"unknown rule code(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    paths = args.paths or [_default_target()]
+    findings = collect_findings(paths, rules=rules)
+
+    if args.write_baseline is not None:
+        Baseline.from_findings(
+            findings,
+            justification="TODO: justify why this finding is acceptable",
+        ).dump(args.write_baseline)
+        print(f"wrote {len(findings)} finding(s) to {args.write_baseline}")
+        return 0
+
+    baseline = Baseline()
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, BaselineError) as exc:
+            print(f"baseline error: {exc}", file=sys.stderr)
+            return 2
+
+    new, stale = diff_against(findings, baseline)
+
+    if args.format == "jsonl":
+        for f in findings:
+            doc = f.as_dict()
+            doc["baselined"] = f in baseline
+            print(json.dumps(doc, sort_keys=True))
+    else:
+        for f in new:
+            print(f.render())
+        accepted = len(findings) - len(new)
+        summary = f"{len(new)} finding(s)"
+        if accepted:
+            summary += f" ({accepted} more covered by baseline)"
+        print(summary)
+        for entry in stale:
+            print(f"warning: stale baseline entry "
+                  f"{entry['rule']} {entry['path']} ({entry['snippet']!r}) "
+                  f"matches nothing; prune it", file=sys.stderr)
+
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

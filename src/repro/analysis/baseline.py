@@ -1,0 +1,101 @@
+"""Baseline files: fail CI only on *new* determinism findings.
+
+A baseline is a committed JSON document listing accepted findings by their
+line-drift-stable fingerprint (rule, path, context, snippet) plus a
+required ``justification`` string — an un-justified entry is a load error,
+which is what keeps the baseline from becoming a silent dumping ground.
+
+:func:`diff_against` partitions current findings into ``new`` (not in the
+baseline — these fail the gate) and reports ``stale`` baseline entries
+that no longer match anything (these warn, so fixed hazards get pruned).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineError", "diff_against"]
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file is malformed or missing a justification."""
+
+
+class Baseline:
+    """The set of accepted finding fingerprints, with justifications."""
+
+    def __init__(self, entries: list[dict[str, str]] | None = None) -> None:
+        self.entries: list[dict[str, str]] = entries or []
+        self._fingerprints = {
+            (e["rule"], e["path"], e["context"], e["snippet"])
+            for e in self.entries
+        }
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self._fingerprints
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> Baseline:
+        try:
+            doc = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+        if not isinstance(doc, dict) or doc.get("version") != _FORMAT_VERSION:
+            raise BaselineError(
+                f"{path}: expected a dict with version={_FORMAT_VERSION}")
+        entries = doc.get("findings", [])
+        if not isinstance(entries, list):
+            raise BaselineError(f"{path}: 'findings' must be a list")
+        for i, entry in enumerate(entries):
+            for key in ("rule", "path", "context", "snippet", "justification"):
+                if not isinstance(entry.get(key), str) or not entry[key].strip():
+                    raise BaselineError(
+                        f"{path}: findings[{i}] needs a non-empty {key!r} "
+                        f"(justification is mandatory for every baselined "
+                        f"finding)")
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding],
+                      justification: str) -> Baseline:
+        entries = []
+        seen = set()
+        for f in sorted(findings):
+            if f.fingerprint in seen:
+                continue
+            seen.add(f.fingerprint)
+            entries.append({
+                "rule": f.rule,
+                "path": f.path,
+                "context": f.context,
+                "snippet": f.snippet,
+                "justification": justification,
+            })
+        return cls(entries)
+
+    def dump(self, path: str | Path) -> None:
+        doc = {"version": _FORMAT_VERSION, "findings": self.entries}
+        Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    def stale_entries(self, findings: list[Finding]) -> list[dict[str, str]]:
+        """Baseline entries matching no current finding (prune candidates)."""
+        current = {f.fingerprint for f in findings}
+        return [
+            e for e in self.entries
+            if (e["rule"], e["path"], e["context"], e["snippet"]) not in current
+        ]
+
+
+def diff_against(findings: list[Finding],
+                 baseline: Baseline) -> tuple[list[Finding], list[dict[str, str]]]:
+    """``(new_findings, stale_baseline_entries)`` for a gate run."""
+    new = [f for f in findings if f not in baseline]
+    return new, baseline.stale_entries(findings)

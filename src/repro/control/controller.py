@@ -30,7 +30,7 @@ Two authorization policies are provided:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..sim.delays import DelayModel
@@ -44,7 +44,7 @@ class _InnerShim:
     """Process-context shim that routes the inner protocol's sends through
     the controller's permit machinery."""
 
-    def __init__(self, host: "ControlledHost") -> None:
+    def __init__(self, host: ControlledHost) -> None:
         self._host = host
         self.node_id = host.node_id
         self.neighbors = host.ctx.neighbors
@@ -56,7 +56,7 @@ class _InnerShim:
     def now(self) -> float:
         return self._host.ctx.now
 
-    def send(self, to: Vertex, payload: Any, size: float, tag: Optional[str]) -> None:
+    def send(self, to: Vertex, payload: Any, size: float, tag: str | None) -> None:
         self._host.controlled_send(to, payload, size, tag)
 
     def set_timer(self, delay, callback) -> None:
@@ -95,7 +95,7 @@ class ControlledHost(Process):
         self.is_initiator = is_initiator
         self.threshold = threshold
         self.mode = mode
-        self.tree_parent: Optional[Vertex] = None
+        self.tree_parent: Vertex | None = None
         self._joined = is_initiator
         self.halted = False
         # permit machinery
@@ -137,7 +137,7 @@ class ControlledHost(Process):
     # -------------------------------------------------------------- #
 
     def controlled_send(self, to: Vertex, payload: Any, size: float,
-                        tag: Optional[str]) -> None:
+                        tag: str | None) -> None:
         cost = self.edge_weight(to) * size
         self._send_queue.append((to, payload, size, tag, cost))
         self._flush()
@@ -174,7 +174,7 @@ class ControlledHost(Process):
         self._forward_request((self.node_id, self._req_seq), amount, origin=None)
 
     def _forward_request(self, req_id, amount: float,
-                         origin: Optional[Vertex]) -> None:
+                         origin: Vertex | None) -> None:
         self._backlog[req_id] = origin
         with self.trace_span("ctl-req"):
             self.send(self.tree_parent, ("req", req_id, amount),
@@ -230,7 +230,7 @@ class ControlledHost(Process):
     def _initiate_halt(self) -> None:
         self._handle_halt(None)
 
-    def _handle_halt(self, frm: Optional[Vertex]) -> None:
+    def _handle_halt(self, frm: Vertex | None) -> None:
         if self.halted:
             return
         self.halted = True
@@ -277,7 +277,7 @@ def run_controlled(
     threshold: float,
     *,
     mode: str = "aggregated",
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
     max_events: int = 5_000_000,
 ) -> ControlOutcome:
@@ -300,7 +300,7 @@ def run_controlled_multi(
     threshold_per_root: float,
     *,
     mode: str = "aggregated",
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
     max_events: int = 5_000_000,
 ) -> ControlOutcome:

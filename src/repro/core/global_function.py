@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any
 
 from ..faults.plan import FaultPlan
 from ..faults.transport import reliable_factory
@@ -82,7 +82,7 @@ class GlobalFunctionProcess(Process):
 
     def __init__(
         self,
-        parent: Optional[Vertex],
+        parent: Vertex | None,
         children: list[Vertex],
         value: Any,
         func: SymmetricCompactFunction,
@@ -124,14 +124,14 @@ def compute_global_function(
     inputs: dict[Vertex, Any],
     func: SymmetricCompactFunction,
     *,
-    root: Optional[Vertex] = None,
+    root: Vertex | None = None,
     q: float = 2.0,
-    tree: Optional[WeightedGraph] = None,
-    delay: Optional[DelayModel] = None,
+    tree: WeightedGraph | None = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
-    faults: Optional[FaultPlan] = None,
+    faults: FaultPlan | None = None,
     reliable: bool = False,
-    transport: Optional[dict] = None,
+    transport: dict | None = None,
 ) -> tuple[RunResult, Any]:
     """Compute ``func`` over ``inputs`` with O(V) communication, O(D) time.
 
@@ -149,7 +149,7 @@ def compute_global_function(
     if tree is None:
         tree = shallow_light_tree(graph, root, q).tree
     parent, children = rooted_tree_structure(tree, root)
-    factory = lambda v: GlobalFunctionProcess(  # noqa: E731
+    factory = lambda v: GlobalFunctionProcess(
         parent[v], children[v], inputs[v], func
     )
     if reliable:
@@ -183,9 +183,9 @@ def broadcast_value(
     origin: Vertex,
     value: Any,
     *,
-    root: Optional[Vertex] = None,
+    root: Vertex | None = None,
     q: float = 2.0,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
 ) -> tuple[RunResult, Any]:
     """Broadcast ``value`` from ``origin`` to every vertex in Theta(V) cost.
@@ -203,9 +203,9 @@ def detect_termination(
     graph: WeightedGraph,
     locally_done: dict[Vertex, bool],
     *,
-    root: Optional[Vertex] = None,
+    root: Vertex | None = None,
     q: float = 2.0,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
 ) -> tuple[RunResult, bool]:
     """Global termination detection: the AND of the local done flags.

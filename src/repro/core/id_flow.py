@@ -71,7 +71,7 @@ def _scan(obj: Any, universe: frozenset, found: set) -> None:
         for item in obj:
             _scan(item, universe, found)
     elif isinstance(obj, str):
-        for v in universe:
+        for v in sorted(universe, key=repr):  # normalized frozenset order
             if repr(v) == obj:
                 found.add(v)
 
@@ -79,7 +79,7 @@ def _scan(obj: Any, universe: frozenset, found: set) -> None:
 class _AuditShim:
     """Pass-through context that lets the auditor observe traffic."""
 
-    def __init__(self, outer: "IdAuditedProcess") -> None:
+    def __init__(self, outer: IdAuditedProcess) -> None:
         self._outer = outer
         self.node_id = outer.ctx.node_id
         self.neighbors = outer.ctx.neighbors

@@ -160,7 +160,7 @@ def shallow_light_tree(
         if line_dist > q * tree_dist:
             # Add the Ts tree path between the breakpoint endpoints.
             path = tree_path(ts, tour[x], tour[y])
-            for a, b in zip(path, path[1:]):
+            for a, b in zip(path, path[1:]):  # noqa: B905  # pairwise walk wants the short zip
                 if not subgraph.has_edge(a, b):
                     subgraph.add_edge(a, b, graph.weight(a, b))
                     added_weight += graph.weight(a, b)

@@ -17,7 +17,6 @@ Overall ``O(script-V * n^2)`` communication and ``O(script-D * n^2)`` time
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..sim.delays import DelayModel
@@ -56,7 +55,7 @@ def run_distributed_slt(
     root: Vertex,
     q: float = 2.0,
     *,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
 ) -> DistributedSltOutcome:
     """Build an SLT distributedly (Theorem 2.7); returns costs + the tree.

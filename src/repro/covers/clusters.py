@@ -70,8 +70,13 @@ def max_cover_degree(cover: Iterable[Iterable[Vertex]]) -> int:
     """``Delta(S) = max_v deg_S(v)``."""
     counts: dict[Vertex, int] = {}
     for c in cover:
-        for v in set(c):
-            counts[v] = counts.get(v, 0) + 1
+        # Dedup via a membership set but *iterate the cluster itself*, so
+        # the counts dict fills in input order, not hash order.
+        seen: set[Vertex] = set()
+        for v in c:
+            if v not in seen:
+                seen.add(v)
+                counts[v] = counts.get(v, 0) + 1
     return max(counts.values(), default=0)
 
 

@@ -104,7 +104,10 @@ def coarsen_cover(
             kernel = [start]
             union = set(clusters[start])
             while True:
-                layer = [i for i in pool if clusters[i] & union]
+                # sorted() both normalizes the pool's set order (a hash-
+                # order hazard for the list it produces) and keeps the
+                # deferred list in ascending index order.
+                layer = sorted(i for i in pool if clusters[i] & union)
                 if len(layer) <= threshold * len(kernel):
                     break
                 kernel = layer

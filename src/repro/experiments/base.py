@@ -86,10 +86,11 @@ def render_text(table: Table) -> str:
         for i, h in enumerate(table.header)
     ]
     lines = [f"=== {table.title} ==="]
-    lines.append("  ".join(h.rjust(w) for h, w in zip(table.header, widths)))
+    lines.append("  ".join(h.rjust(w) for h, w in zip(table.header, widths,
+                                                      strict=True)))
     lines.append("  ".join("-" * w for w in widths))
     for r in str_rows:
-        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths, strict=True)))
     if table.notes:
         lines.append(f"  note: {table.notes}")
     return "\n".join(lines)

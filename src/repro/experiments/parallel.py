@@ -52,7 +52,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any, TypeVar
 
 __all__ = [
     "cell_seed",
@@ -93,16 +94,16 @@ _CHUNK_WAVES = 4
 _MIN_CELLS_PER_WORKER = 2
 
 # The one live pool, keyed by the (jobs, warm) shape that built it.
-_pool: Optional[ProcessPoolExecutor] = None
-_pool_key: Optional[tuple] = None
+_pool: ProcessPoolExecutor | None = None
+_pool_key: tuple | None = None
 _atexit_registered = False
 
 
 def parallel_plan(
     n_cells: int,
-    jobs: Optional[int],
+    jobs: int | None,
     *,
-    cpu_count: Optional[int] = None,
+    cpu_count: int | None = None,
 ) -> tuple[str, int]:
     """Decide how to run ``n_cells``: ``("serial", 1)`` or ``("pool", chunksize)``.
 
@@ -176,10 +177,10 @@ def run_parallel(
     fn: Callable[[_T], _R],
     cells: Iterable[_T],
     *,
-    jobs: Optional[int] = None,
-    chunksize: Optional[int] = None,
+    jobs: int | None = None,
+    chunksize: int | None = None,
     warm: tuple = (),
-    force: Optional[str] = None,
+    force: str | None = None,
 ) -> list[_R]:
     """Map ``fn`` over ``cells``, sharding across the persistent pool.
 
@@ -246,6 +247,10 @@ class ChaosCell:
     # summary back in the row (defaulted so untraced sweeps keep their
     # exact historical row shape and byte-identity).
     trace: bool = False
+    # Run under the shared-state race detector (repro.analysis.race); a
+    # violation surfaces as status "error" in the row.  Defaulted off so
+    # existing sweeps keep byte-identity and zero overhead.
+    race_detect: bool = False
 
 
 def chaos_cells(
@@ -256,8 +261,9 @@ def chaos_cells(
     drop_rates: Sequence[float] = (0.0, 0.05, 0.2),
     fault_seed: int = 7,
     include_raw: bool = True,
-    protocols: Optional[Sequence[str]] = None,
+    protocols: Sequence[str] | None = None,
     trace: bool = False,
+    race_detect: bool = False,
 ) -> list[ChaosCell]:
     """The cell list of a chaos sweep, in serial-matrix row order."""
     if protocols is None:
@@ -270,7 +276,8 @@ def chaos_cells(
             modes = [True] + ([False] if include_raw and rate > 0 else [])
             for reliable in modes:
                 cells.append(ChaosCell(n, extra_edges, graph_seed, name,
-                                       rate, reliable, fault_seed, trace))
+                                       rate, reliable, fault_seed, trace,
+                                       race_detect))
     return cells
 
 
@@ -349,7 +356,7 @@ def run_chaos_cell(cell: ChaosCell) -> dict:
     outcome = run_chaos(
         case.graph, case.factory, plan=plan, reliable=cell.reliable,
         watchdog_time=watchdog, answer=case.answer, expect=reference.answer,
-        recorder=recorder,
+        recorder=recorder, race_detect=cell.race_detect,
     )
     row = _summarize(cell.protocol, cell.drop, cell.reliable, outcome,
                      ff_cost)
@@ -370,15 +377,16 @@ def summarize_chaos_entry(entry: dict) -> dict:
 
 def chaos_rows(
     *,
-    jobs: Optional[int] = None,
+    jobs: int | None = None,
     n: int = 14,
     extra_edges: int = 20,
     graph_seed: int = 2,
     drop_rates: Sequence[float] = (0.0, 0.05, 0.2),
     fault_seed: int = 7,
     include_raw: bool = True,
-    force: Optional[str] = None,
+    force: str | None = None,
     trace: bool = False,
+    race_detect: bool = False,
 ) -> list[dict]:
     """The chaos matrix as flat summary rows, optionally sharded.
 
@@ -389,10 +397,13 @@ def chaos_rows(
     passes through to :func:`run_parallel`.  ``trace=True`` adds a
     ``"trace"`` per-span summary dict to every row (identical serial vs.
     pool — the recorder travels inside the cell, not via ambient state).
+    ``race_detect=True`` runs every cell under the shared-state race
+    detector; clean protocols produce identical rows either way.
     """
     cells = chaos_cells(n=n, extra_edges=extra_edges, graph_seed=graph_seed,
                         drop_rates=drop_rates, fault_seed=fault_seed,
-                        include_raw=include_raw, trace=trace)
+                        include_raw=include_raw, trace=trace,
+                        race_detect=race_detect)
     warm = ((n, extra_edges, graph_seed, None),)
     return run_parallel(run_chaos_cell, cells, jobs=jobs, warm=warm,
                         force=force)
@@ -413,6 +424,7 @@ def run_experiment_by_key(key: str) -> tuple[str, str, float, list]:
     from .base import all_experiments
 
     desc, fn = all_experiments()[key]
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow RS003 -- harness wall-time, not simulation state
     tables = fn()
-    return key, desc, time.perf_counter() - start, tables
+    elapsed = time.perf_counter() - start  # repro: allow RS003 -- harness wall-time
+    return key, desc, elapsed, tables

@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from collections.abc import Callable, Collection, Iterable
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.weighted_graph import Vertex
 
@@ -61,7 +61,7 @@ class CrashWindow:
 
     node: Vertex
     start: float
-    end: Optional[float] = None
+    end: float | None = None
 
     def __iter__(self):
         # Lets the Network unpack windows as plain (node, start, end).
@@ -69,8 +69,8 @@ class CrashWindow:
 
 
 def _normalize_edges(
-    edges: Optional[Iterable[tuple[Vertex, Vertex]]]
-) -> Optional[frozenset]:
+    edges: Iterable[tuple[Vertex, Vertex]] | None
+) -> frozenset | None:
     if edges is None:
         return None
     return frozenset(frozenset(e) for e in edges)
@@ -118,10 +118,10 @@ class FaultPlan:
     reorder: float = 0.0
     reorder_bound: float = 1.0
     seed: int = 0
-    edges: Optional[Collection[tuple[Vertex, Vertex]]] = None
+    edges: Collection[tuple[Vertex, Vertex]] | None = None
     crashes: tuple = ()
-    script: Optional[Callable[[Vertex, Vertex, int], Optional[str]]] = None
-    _edge_set: Optional[frozenset] = field(init=False, repr=False, default=None)
+    script: Callable[[Vertex, Vertex, int], str | None] | None = None
+    _edge_set: frozenset | None = field(init=False, repr=False, default=None)
     _tx_index: dict = field(init=False, repr=False, default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -147,12 +147,12 @@ class FaultPlan:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def message_loss(cls, rate: float, *, seed: int = 0) -> "FaultPlan":
+    def message_loss(cls, rate: float, *, seed: int = 0) -> FaultPlan:
         """Uniform per-transmission loss — the canonical chaos adversary."""
         return cls(drop=rate, seed=seed)
 
     @classmethod
-    def lossy_and_noisy(cls, rate: float, *, seed: int = 0) -> "FaultPlan":
+    def lossy_and_noisy(cls, rate: float, *, seed: int = 0) -> FaultPlan:
         """Split ``rate`` evenly across drop / corrupt / duplicate."""
         return cls(drop=rate / 3, corrupt=rate / 3, duplicate=rate / 3,
                    seed=seed)
@@ -166,9 +166,9 @@ class FaultPlan:
         horizon: float,
         downtime: float,
         seed: int = 0,
-        spare: Optional[Collection[Vertex]] = None,
+        spare: Collection[Vertex] | None = None,
         **message_faults,
-    ) -> "FaultPlan":
+    ) -> FaultPlan:
         """Crash ``count`` distinct nodes once each, windows drawn in
         ``[0, horizon]`` with the given ``downtime``, deterministically
         from ``seed``.  ``spare`` nodes (e.g. the root) are never crashed.

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..sim.delays import DelayModel
@@ -47,9 +47,9 @@ class ChaosOutcome:
     """Result of one chaos run."""
 
     status: str
-    result: Optional[RunResult]
+    result: RunResult | None
     answer: Any = None
-    error: Optional[str] = None
+    error: str | None = None
     ack_cost: float = 0.0
     retry_cost: float = 0.0
     retry_count: int = 0
@@ -91,17 +91,18 @@ def run_chaos(
     graph: WeightedGraph,
     factory: Callable[[Vertex], Process],
     *,
-    plan: Optional[FaultPlan] = None,
+    plan: FaultPlan | None = None,
     reliable: bool = True,
-    transport: Optional[dict] = None,
+    transport: dict | None = None,
     watchdog_time: float = float("inf"),
     max_events: int = 2_000_000,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
     serialize: bool = False,
-    answer: Optional[Callable[[RunResult], Any]] = None,
+    answer: Callable[[RunResult], Any] | None = None,
     expect: Any = None,
-    recorder: Optional[Any] = None,
+    recorder: Any | None = None,
+    race_detect: Any = False,
 ) -> ChaosOutcome:
     """Run ``factory``'s protocol on ``graph`` under ``plan``.
 
@@ -116,16 +117,29 @@ def run_chaos(
     session) attaches structured tracing; the run's
     :class:`~repro.obs.profiler.TraceSummary` comes back on
     ``ChaosOutcome.trace`` for every status, including error paths.
+
+    ``race_detect`` passes through to :class:`~repro.sim.network.Network`;
+    a :class:`~repro.analysis.race.SharedStateViolation` raised mid-run is
+    classified ``"error"`` (a detectable failure), not ``"timeout"``.
     """
+    from ..analysis.race import SharedStateViolation
+
     if reliable:
         factory = reliable_factory(factory, **(transport or {}))
     net = Network(graph, factory, delay=delay, seed=seed,
-                  serialize=serialize, faults=plan, recorder=recorder)
+                  serialize=serialize, faults=plan, recorder=recorder,
+                  race_detect=race_detect)
     try:
         # Run to quiescence (no stop_when): trailing acks/retransmissions
         # count toward the measured reliability overhead, and a stall is
         # distinguishable from success by the unfinished nodes.
         result = net.run(max_time=watchdog_time, max_events=max_events)
+    except SharedStateViolation as exc:  # race detector: before the
+        # RuntimeError backstop below, which would misread it as a hang
+        return ChaosOutcome(status="error", result=None,
+                            error=f"{type(exc).__name__}: {exc}",
+                            trace=_trace_summary(net, "error"),
+                            **reliability_overhead(net.metrics))
     except RuntimeError as exc:  # max_events backstop: a detected hang
         return ChaosOutcome(status="timeout", result=None, error=str(exc),
                             trace=_trace_summary(net, "timeout"),

@@ -31,7 +31,7 @@ retry on ``e`` costs another ``w(e) * size``.
 from __future__ import annotations
 
 from collections.abc import Callable
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.weighted_graph import Vertex
 from ..sim.process import Process
@@ -52,7 +52,7 @@ class _ReliableContext:
 
     __slots__ = ("_outer", "is_finished", "result")
 
-    def __init__(self, outer: "ReliableProcess") -> None:
+    def __init__(self, outer: ReliableProcess) -> None:
         self._outer = outer
         self.is_finished = False
         self.result: Any = None
@@ -74,7 +74,7 @@ class _ReliableContext:
         return self._outer.ctx.now
 
     def send(self, to: Vertex, payload: Any, size: float,
-             tag: Optional[str]) -> None:
+             tag: str | None) -> None:
         self._outer._send_data(to, payload, size, tag)
 
     def set_timer(self, delay: float, callback: Callable[[], None]) -> None:
@@ -169,7 +169,7 @@ class ReliableProcess(Process):
     # ------------------------------------------------------------------ #
 
     def _send_data(self, to: Vertex, payload: Any, size: float,
-                   tag: Optional[str]) -> None:
+                   tag: str | None) -> None:
         seq = self._next_seq.get(to, 0)
         self._next_seq[to] = seq + 1
         frame = (_DATA, seq, payload)

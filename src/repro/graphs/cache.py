@@ -43,10 +43,13 @@ floats), never the O(n^2) distance matrix.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING
 
-from .csr import CSRGraph, all_sources_scan, csr_prim_mst, sssp_maps
+from .csr import CSRGraph, GraphScan, all_sources_scan, csr_prim_mst, sssp_maps
 from .weighted_graph import Vertex, WeightedGraph
+
+if TYPE_CHECKING:  # runtime import is deferred: params imports this module
+    from .params import NetworkParams
 
 __all__ = ["GraphParamCache", "param_cache"]
 
@@ -74,14 +77,15 @@ class GraphParamCache:
     # ------------------------------------------------------------------ #
 
     def _wipe(self) -> None:
-        self._csrg: Optional[CSRGraph] = None
+        self._csrg: CSRGraph | None = None
         self._sssp: dict[Vertex, tuple[dict, dict]] = {}
-        self._scan = None  # GraphScan: ecc row + diameter + max nbr dist
-        self._ecc: Optional[dict[Vertex, float]] = None
-        self._mst: Optional[WeightedGraph] = None
-        self._mst_weight: Optional[float] = None
-        self._params = None
-        self._connected: Optional[bool] = None
+        # GraphScan: ecc row + diameter + max nbr dist.
+        self._scan: GraphScan | None = None
+        self._ecc: dict[Vertex, float] | None = None
+        self._mst: WeightedGraph | None = None
+        self._mst_weight: float | None = None
+        self._params: NetworkParams | None = None
+        self._connected: bool | None = None
 
     def _sync(self) -> None:
         if self._version != self.graph.version:
@@ -125,7 +129,7 @@ class GraphParamCache:
         self._sssp[source] = result
         return result
 
-    def _full_scan(self):
+    def _full_scan(self) -> GraphScan:
         if self._scan is None:
             self.misses += 1
             self._scan = all_sources_scan(self.csr())
@@ -138,7 +142,7 @@ class GraphParamCache:
             self.hits += 1
             return self._ecc
         scan = self._full_scan()
-        self._ecc = dict(zip(self.csr().verts, scan.ecc))
+        self._ecc = dict(zip(self.csr().verts, scan.ecc, strict=True))
         return self._ecc
 
     def eccentricity(self, v: Vertex) -> float:
@@ -193,7 +197,7 @@ class GraphParamCache:
             self.hits += 1
         return self._connected
 
-    def network_params(self):
+    def network_params(self) -> NetworkParams:
         """The full :class:`~repro.graphs.params.NetworkParams` record."""
         self._sync()
         if self._params is not None:

@@ -43,7 +43,7 @@ snapshot is impossible through the public API.
 from __future__ import annotations
 
 import heapq
-from typing import NamedTuple, Optional
+from typing import NamedTuple
 
 from .weighted_graph import Vertex, WeightedGraph
 
@@ -123,7 +123,7 @@ class CSRGraph:
         self.indptr = indptr
         self.indices = indices
         self.weights = weights
-        pairs = list(zip(indices, weights))
+        pairs = list(zip(indices, weights, strict=True))
         self.adj = [pairs[indptr[i]:indptr[i + 1]] for i in range(self.n)]
         # Integral non-negative weights (the paper's W = poly(n) integer
         # regime, and what every generator in this repo emits) admit a
@@ -142,7 +142,7 @@ class CSRGraph:
             # Generators store randint weights as ints already; only
             # float-typed integral weights (e.g. unit 1.0) need copying.
             if all(type(w) is int for w in weights):
-                self.iadj: Optional[list] = self.adj
+                self.iadj: list | None = self.adj
             else:
                 self.iadj = [
                     [(v, int(w)) for v, w in row] for row in self.adj
@@ -232,7 +232,7 @@ def sssp_into(
 
 def sssp_maps(
     csr: CSRGraph, source: Vertex
-) -> tuple[dict[Vertex, float], dict[Vertex, Optional[Vertex]]]:
+) -> tuple[dict[Vertex, float], dict[Vertex, Vertex | None]]:
     """One source's ``(dist, parent)`` as vertex-keyed dicts.
 
     Byte-compatible with :func:`repro.graphs.paths.dijkstra`: same
@@ -250,7 +250,7 @@ def sssp_maps(
     sssp_into(csr, s, dist, parent, order)
     verts = csr.verts
     dist_map: dict[Vertex, float] = {}
-    parent_map: dict[Vertex, Optional[Vertex]] = {}
+    parent_map: dict[Vertex, Vertex | None] = {}
     for i in order:
         v = verts[i]
         dist_map[v] = dist[i]

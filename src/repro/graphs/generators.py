@@ -10,7 +10,6 @@ standard workloads (random connected graphs, grids, rings) and the
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from .weighted_graph import WeightedGraph
 
@@ -93,7 +92,7 @@ def random_connected_graph(
     *,
     seed: int = 0,
     max_weight: float = 10.0,
-    rng: Optional[random.Random] = None,
+    rng: random.Random | None = None,
 ) -> WeightedGraph:
     """Random connected graph: a random tree plus ``extra_edges`` random chords.
 
@@ -117,7 +116,7 @@ def random_connected_graph(
     return g
 
 
-def lower_bound_graph(n: int, heavy: Optional[float] = None) -> WeightedGraph:
+def lower_bound_graph(n: int, heavy: float | None = None) -> WeightedGraph:
     """The family ``G_n`` of Section 7.1 (Figure 7).
 
     Vertices 1..n.  A light path ``E_p = {(i, i+1)}`` with weight ``X`` and
@@ -148,7 +147,7 @@ def path_graph_1_indexed(n: int, weight: float) -> WeightedGraph:
     return g
 
 
-def lower_bound_split_graph(n: int, i: int, heavy: Optional[float] = None) -> WeightedGraph:
+def lower_bound_split_graph(n: int, i: int, heavy: float | None = None) -> WeightedGraph:
     """The family ``G_n^i`` of Lemma 7.1 (Figure 8).
 
     Obtained from ``G_n`` by removing the bypass edge ``(i, n+1-i)`` and

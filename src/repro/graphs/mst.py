@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Optional
 
 from .weighted_graph import Vertex, WeightedGraph
 
@@ -66,7 +65,7 @@ class UnionFind:
         return True
 
 
-def prim_mst(graph: WeightedGraph, root: Optional[Vertex] = None) -> WeightedGraph:
+def prim_mst(graph: WeightedGraph, root: Vertex | None = None) -> WeightedGraph:
     """Prim's algorithm; returns the MST as a fresh :class:`WeightedGraph`.
 
     Runs on the memoized CSR snapshot (:mod:`repro.graphs.csr`);
@@ -94,7 +93,7 @@ def kruskal_mst(graph: WeightedGraph) -> WeightedGraph:
 
 
 def prim_mst_dicts(
-    graph: WeightedGraph, root: Optional[Vertex] = None
+    graph: WeightedGraph, root: Vertex | None = None
 ) -> WeightedGraph:
     """Reference dict-of-dicts Prim (the pre-CSR implementation).
 

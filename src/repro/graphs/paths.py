@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Optional
 
 from .weighted_graph import Vertex, WeightedGraph
 
@@ -34,7 +33,7 @@ __all__ = [
 
 def dijkstra(
     graph: WeightedGraph, source: Vertex
-) -> tuple[dict[Vertex, float], dict[Vertex, Optional[Vertex]]]:
+) -> tuple[dict[Vertex, float], dict[Vertex, Vertex | None]]:
     """Single-source shortest paths.
 
     Returns
@@ -47,7 +46,7 @@ def dijkstra(
     if source not in graph:
         raise KeyError(f"source {source!r} not in graph")
     dist: dict[Vertex, float] = {source: 0.0}
-    parent: dict[Vertex, Optional[Vertex]] = {source: None}
+    parent: dict[Vertex, Vertex | None] = {source: None}
     done: set[Vertex] = set()
     tie = count()
     heap: list[tuple[float, int, Vertex]] = [(0.0, next(tie), source)]

@@ -14,7 +14,6 @@ integers).  Edges are undirected; both orientations report the same weight.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator
-from typing import Optional
 
 Vertex = Hashable
 Edge = tuple[Vertex, Vertex]
@@ -50,10 +49,15 @@ class WeightedGraph:
         Optional iterable of isolated vertices to add up front.
     """
 
+    # Lazily attached by :func:`repro.graphs.cache.param_cache`; declared
+    # here (untyped to avoid the import cycle) so the attachment
+    # type-checks.
+    _param_cache: object
+
     def __init__(
         self,
-        edges: Optional[Iterable[tuple[Vertex, Vertex, float]]] = None,
-        vertices: Optional[Iterable[Vertex]] = None,
+        edges: Iterable[tuple[Vertex, Vertex, float]] | None = None,
+        vertices: Iterable[Vertex] | None = None,
     ) -> None:
         self._adj: dict[Vertex, dict[Vertex, float]] = {}
         # Mutation counter consumed by repro.graphs.cache.GraphParamCache;
@@ -107,11 +111,13 @@ class WeightedGraph:
         """
         return self._version
 
-    def copy(self) -> "WeightedGraph":
+    def copy(self) -> WeightedGraph:
         """Return an independent deep copy of this graph."""
         g = WeightedGraph()
         for v, nbrs in self._adj.items():
-            g._adj[v] = dict(nbrs)
+            # Bulk-init of a fresh instance: nothing can hold a cache
+            # entry for `g` before it is returned, so version 0 is sound.
+            g._adj[v] = dict(nbrs)  # repro: allow RS004 -- fresh instance bulk-init
         return g
 
     # ------------------------------------------------------------------ #
@@ -184,7 +190,7 @@ class WeightedGraph:
     # Structure
     # ------------------------------------------------------------------ #
 
-    def induced_subgraph(self, vertices: Iterable[Vertex]) -> "WeightedGraph":
+    def induced_subgraph(self, vertices: Iterable[Vertex]) -> WeightedGraph:
         """``G(S)`` — the subgraph induced by the given vertex set."""
         keep = set(vertices)
         g = WeightedGraph(vertices=keep)
@@ -194,8 +200,8 @@ class WeightedGraph:
         return g
 
     def edge_subgraph(
-        self, edges: Iterable[Edge], *, vertices: Optional[Iterable[Vertex]] = None
-    ) -> "WeightedGraph":
+        self, edges: Iterable[Edge], *, vertices: Iterable[Vertex] | None = None
+    ) -> WeightedGraph:
         """Subgraph containing the given edges (weights copied from self).
 
         All endpoints are included; extra isolated vertices may be supplied
@@ -207,11 +213,17 @@ class WeightedGraph:
         return g
 
     def connected_components(self) -> list[set[Vertex]]:
-        """All connected components, as a list of vertex sets."""
+        """All connected components, as a list of vertex sets.
+
+        Components are discovered from roots in vertex *insertion* order
+        (never hash order), so the returned list order is deterministic
+        for any vertex type regardless of ``PYTHONHASHSEED``.
+        """
         remaining = set(self._adj)
-        components = []
-        while remaining:
-            root = next(iter(remaining))
+        components: list[set[Vertex]] = []
+        for root in self._adj:  # insertion order, not set hash order
+            if root not in remaining:
+                continue
             seen = {root}
             stack = [root]
             while stack:

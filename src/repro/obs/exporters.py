@@ -98,6 +98,7 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
     "finish": ("node",),
     "span_open": ("span",),
     "span_close": ("span",),
+    "violation": ("detail",),
 }
 
 
@@ -249,10 +250,16 @@ def to_chrome_trace(recorder: Any, name: str = "repro") -> dict:
                            "dur": max(0.0, ts - start),
                            "args": {"cost": cost, "ref": ev.ref,
                                     "span": getattr(send_ev, "span", None)}})
-        elif ev.kind in ("pulse", "timer", "crash", "recover", "finish"):
+        elif ev.kind in ("pulse", "timer", "crash", "recover", "finish",
+                         "violation"):
+            if ev.kind == "pulse":
+                label = f"pulse {ev.detail}"
+            elif ev.kind == "violation":
+                label = f"violation: {ev.detail}"
+            else:
+                label = ev.kind
             events.append({"ph": "i", "pid": 1, "tid": node_tid(ev.node),
-                           "name": (f"pulse {ev.detail}" if ev.kind == "pulse"
-                                    else ev.kind),
+                           "name": label,
                            "cat": ev.kind, "ts": ts, "s": "t", "args": {}})
     # Sends still in flight at the end of a retained (or truncated) log.
     for send_ev in sends.values():
@@ -298,8 +305,9 @@ def render_timeline(recorder: Any, time_step: float = 1.0,
     ``time_step`` of simulated time.  A cell shows ``>``/``<`` when the
     node sent toward a higher/lower column, ``*`` when a delivery
     arrived, ``x`` for a drop, ``P<k>`` for pulse *k*, ``!``/``+`` for
-    crash/recover and ``#`` for finish; multiple marks in one window
-    concatenate.  Rows beyond ``max_rows`` collapse into an ellipsis.
+    crash/recover, ``#`` for finish and ``R!`` for a recorded race
+    violation; multiple marks in one window concatenate.  Rows beyond
+    ``max_rows`` collapse into an ellipsis.
     """
     nodes = list(recorder.meta.get("nodes") or [])
     if not nodes:
@@ -334,6 +342,8 @@ def render_timeline(recorder: Any, time_step: float = 1.0,
             mark(ev.t, ev.node, "+")
         elif ev.kind == "finish":
             mark(ev.t, ev.node, "#")
+        elif ev.kind == "violation":
+            mark(ev.t, ev.node, "R!")
 
     header = "t".rjust(8) + " | " + "".join(
         repr(v).center(col_width) for v in nodes)

@@ -11,7 +11,7 @@ folds the summaries into per-key and aggregate phase breakdowns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 __all__ = ["TraceSummary", "Profiler"]
 
@@ -37,11 +37,11 @@ class TraceSummary:
     recorded: int = 0
     dropped: int = 0
     truncated: bool = False
-    status: Optional[str] = None
+    status: str | None = None
     meta: dict = field(default_factory=dict)
 
     @classmethod
-    def from_recorder(cls, recorder: Any) -> "TraceSummary":
+    def from_recorder(cls, recorder: Any) -> TraceSummary:
         from .exporters import jsonable
 
         meta = {k: jsonable(v) for k, v in sorted(recorder.meta.items())
@@ -77,7 +77,7 @@ class TraceSummary:
         }
 
     @classmethod
-    def from_dict(cls, d: dict) -> "TraceSummary":
+    def from_dict(cls, d: dict) -> TraceSummary:
         return cls(**{k: d.get(k, v.default_factory() if callable(
             getattr(v, "default_factory", None)) else v.default)
             for k, v in cls.__dataclass_fields__.items()})

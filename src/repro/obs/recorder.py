@@ -46,14 +46,15 @@ one ``is None`` check per event (benchmarked < 2% in
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any, ClassVar
 
 __all__ = ["EVENT_KINDS", "TraceEvent", "TraceRecorder", "NullRecorder"]
 
 #: Every record kind a recorder may emit, in no particular order.
 EVENT_KINDS = (
     "send", "deliver", "drop", "timer", "crash", "recover", "pulse",
-    "finish", "span_open", "span_close",
+    "finish", "span_open", "span_close", "violation",
 )
 
 _ROOT = ""  # the span path of unattributed events
@@ -71,9 +72,9 @@ class TraceEvent:
                  "span", "ref", "detail")
 
     def __init__(self, seq: int, t: float, kind: str, node: Any = None,
-                 peer: Any = None, tag: Optional[str] = None,
-                 cost: Optional[float] = None, size: Optional[float] = None,
-                 span: Optional[str] = None, ref: Optional[int] = None,
+                 peer: Any = None, tag: str | None = None,
+                 cost: float | None = None, size: float | None = None,
+                 span: str | None = None, ref: int | None = None,
                  detail: Any = None) -> None:
         self.seq = seq
         self.t = t
@@ -121,14 +122,14 @@ class _SpanCtx:
 
     __slots__ = ("_rec", "_name", "_node", "_detail")
 
-    def __init__(self, rec: "TraceRecorder", name: str, node: Any,
+    def __init__(self, rec: TraceRecorder, name: str, node: Any,
                  detail: Any) -> None:
         self._rec = rec
         self._name = name
         self._node = node
         self._detail = detail
 
-    def __enter__(self) -> "_SpanCtx":
+    def __enter__(self) -> _SpanCtx:
         self._rec.open_span(self._name, node=self._node, detail=self._detail)
         return self
 
@@ -157,7 +158,7 @@ class TraceRecorder:
 
     enabled = True
 
-    def __init__(self, limit: Optional[int] = None) -> None:
+    def __init__(self, limit: int | None = None) -> None:
         if limit is not None and limit < 0:
             raise ValueError(f"limit must be >= 0 or None: {limit!r}")
         self.limit = limit
@@ -221,8 +222,8 @@ class TraceRecorder:
         queue = network.queue
         self.now_fn = lambda: queue.now
 
-    def finalize(self, t: float, status: Optional[str] = None,
-                 events_fired: Optional[int] = None) -> None:
+    def finalize(self, t: float, status: str | None = None,
+                 events_fired: int | None = None) -> None:
         """End-of-run hook: close open spans, stamp status and the number
         of event-queue callbacks the run fired (the EventQueue's view of
         the same execution)."""
@@ -252,7 +253,7 @@ class TraceRecorder:
         return _SpanCtx(self, name, node, detail)
 
     def open_span(self, name: str, node: Any = None, detail: Any = None,
-                  t: Optional[float] = None) -> str:
+                  t: float | None = None) -> str:
         """Open a phase; returns its full path (``parent/name``)."""
         if t is None:
             t = self.now_fn()
@@ -272,7 +273,7 @@ class TraceRecorder:
         self._record("span_open", t, node=node, span=path, detail=detail)
         return path
 
-    def close_span(self, node: Any = None, t: Optional[float] = None) -> None:
+    def close_span(self, node: Any = None, t: float | None = None) -> None:
         """Close the innermost open span (of ``node``, or recorder-wide)."""
         if t is None:
             t = self.now_fn()
@@ -328,11 +329,11 @@ class TraceRecorder:
                             cost=cost, size=size, span=span)
 
     def record_deliver(self, t: float, frm: Any, to: Any,
-                       ref: Optional[int] = None) -> int:
+                       ref: int | None = None) -> int:
         return self._record("deliver", t, node=to, peer=frm, ref=ref)
 
     def record_drop(self, t: float, frm: Any, to: Any, fate: str,
-                    ref: Optional[int] = None) -> int:
+                    ref: int | None = None) -> int:
         return self._record("drop", t, node=to, peer=frm, ref=ref,
                             detail=fate)
 
@@ -365,13 +366,21 @@ class TraceRecorder:
     def record_finish(self, t: float, node: Any) -> int:
         return self._record("finish", t, node=node)
 
+    def record_violation(self, t: float, node: Any, kind: str,
+                         message: str) -> int:
+        """Record a shared-state race detected by ``repro.analysis.race``
+        (``detail`` carries ``(kind, message)``; emitted only in the
+        detector's non-raising ``"record"`` mode)."""
+        return self._record("violation", t, node=node,
+                            detail=f"{kind}: {message}")
+
 
 class _NullSpanCtx:
     """Reusable, reentrant no-op span."""
 
     __slots__ = ()
 
-    def __enter__(self) -> "_NullSpanCtx":
+    def __enter__(self) -> _NullSpanCtx:
         return self
 
     def __exit__(self, *exc) -> bool:
@@ -395,7 +404,7 @@ class NullRecorder:
     dropped = 0
     total_cost = 0.0
 
-    def __init__(self, limit: Optional[int] = None) -> None:
+    def __init__(self, limit: int | None = None) -> None:
         self.cost_by_span: dict = {}
         self.count_by_span: dict = {}
         self.time_by_span: dict = {}
@@ -403,7 +412,8 @@ class NullRecorder:
         self.meta: dict = {}
         self.now_fn: Callable[[], float] = lambda: 0.0
 
-    events: list = []
+    # Shared across instances by design: a NullRecorder never appends.
+    events: ClassVar[list] = []
     n_emitted = 0
     n_recorded = 0
     truncated = False
@@ -411,18 +421,18 @@ class NullRecorder:
     def attach(self, network: Any) -> None:
         pass
 
-    def finalize(self, t: float, status: Optional[str] = None,
-                 events_fired: Optional[int] = None) -> None:
+    def finalize(self, t: float, status: str | None = None,
+                 events_fired: int | None = None) -> None:
         pass
 
     def span(self, name: str, node: Any = None, detail: Any = None):
         return _NULL_SPAN
 
     def open_span(self, name: str, node: Any = None, detail: Any = None,
-                  t: Optional[float] = None) -> str:
+                  t: float | None = None) -> str:
         return _ROOT
 
-    def close_span(self, node: Any = None, t: Optional[float] = None) -> None:
+    def close_span(self, node: Any = None, t: float | None = None) -> None:
         pass
 
     def span_of(self, node: Any) -> str:
@@ -439,6 +449,7 @@ class NullRecorder:
     record_recover = _no_op
     record_pulse = _no_op
     record_finish = _no_op
+    record_violation = _no_op
 
     def summary(self):
         from .profiler import TraceSummary

@@ -18,24 +18,23 @@ workers) — sweeps that fan out trace via the explicit per-cell flag in
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Optional
 
 from .profiler import Profiler
 from .recorder import TraceRecorder
 
 __all__ = ["TraceSession", "tracing", "current_session", "default_recorder"]
 
-_session: Optional["TraceSession"] = None
+_session: TraceSession | None = None
 
 
 class TraceSession:
     """Collects the recorders of every network built while active."""
 
-    def __init__(self, limit: Optional[int] = None) -> None:
+    def __init__(self, limit: int | None = None) -> None:
         self.limit = limit
         self.recorders: list[tuple[str, TraceRecorder]] = []
 
-    def make_recorder(self, label: Optional[str] = None) -> TraceRecorder:
+    def make_recorder(self, label: str | None = None) -> TraceRecorder:
         rec = TraceRecorder(limit=self.limit)
         self.recorders.append((label or f"run-{len(self.recorders)}", rec))
         return rec
@@ -48,12 +47,12 @@ class TraceSession:
         return prof
 
 
-def current_session() -> Optional[TraceSession]:
+def current_session() -> TraceSession | None:
     """The active session, or ``None``."""
     return _session
 
 
-def default_recorder() -> Optional[TraceRecorder]:
+def default_recorder() -> TraceRecorder | None:
     """A fresh session-registered recorder, or ``None`` when no session
     is active.  Called by ``Network.__init__`` when no explicit recorder
     was passed."""
@@ -63,7 +62,7 @@ def default_recorder() -> Optional[TraceRecorder]:
 
 
 @contextmanager
-def tracing(limit: Optional[int] = None, label: Optional[str] = None):
+def tracing(limit: int | None = None, label: str | None = None):
     """Activate an ambient :class:`TraceSession` for the ``with`` body.
 
     ``limit`` is forwarded to every recorder the session creates

@@ -13,7 +13,7 @@ connectivity / spanning-tree problem of Section 7 in ``O(script-E)``.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..faults.plan import FaultPlan
 from ..faults.transport import reliable_factory
@@ -35,7 +35,7 @@ class FloodProcess(Process):
     def __init__(self, is_initiator: bool, payload: Any = None) -> None:
         self.is_initiator = is_initiator
         self.payload = payload
-        self.parent: Optional[Vertex] = None
+        self.parent: Vertex | None = None
         self._got_it = False
 
     def on_start(self) -> None:
@@ -62,11 +62,11 @@ def run_flood(
     initiator: Vertex,
     payload: Any = "wake-up",
     *,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
-    faults: Optional[FaultPlan] = None,
+    faults: FaultPlan | None = None,
     reliable: bool = False,
-    transport: Optional[dict] = None,
+    transport: dict | None = None,
 ) -> tuple[RunResult, WeightedGraph]:
     """Flood ``payload`` from ``initiator``; return (run result, flood tree).
 
@@ -75,7 +75,7 @@ def run_flood(
     ``reliable=True`` wraps every node in the retransmitting transport
     (``transport`` passes options through to ``ReliableProcess``).
     """
-    factory = lambda v: FloodProcess(v == initiator, payload)  # noqa: E731
+    factory = lambda v: FloodProcess(v == initiator, payload)
     if reliable:
         factory = reliable_factory(factory, **(transport or {}))
     net = Network(graph, factory, delay=delay, seed=seed, faults=faults)

@@ -16,7 +16,7 @@ synchronizers gamma* and gamma_w.
 from __future__ import annotations
 
 from collections.abc import Callable
-from typing import Any, Optional
+from typing import Any
 
 from ..faults.plan import FaultPlan
 from ..faults.transport import reliable_factory
@@ -37,9 +37,9 @@ __all__ = [
 
 def rooted_tree_structure(
     tree: WeightedGraph, root: Vertex
-) -> tuple[dict[Vertex, Optional[Vertex]], dict[Vertex, list[Vertex]]]:
+) -> tuple[dict[Vertex, Vertex | None], dict[Vertex, list[Vertex]]]:
     """Orient ``tree`` away from ``root``: returns (parent, children) maps."""
-    parent: dict[Vertex, Optional[Vertex]] = {root: None}
+    parent: dict[Vertex, Vertex | None] = {root: None}
     children: dict[Vertex, list[Vertex]] = {v: [] for v in tree.vertices}
     stack = [root]
     seen = {root}
@@ -87,7 +87,7 @@ class ConvergecastProcess(Process):
 
     def __init__(
         self,
-        parent: Optional[Vertex],
+        parent: Vertex | None,
         children: list[Vertex],
         value: Any,
         combine: Callable[[Any, Any], Any],
@@ -121,15 +121,15 @@ def run_tree_broadcast(
     root: Vertex,
     value: Any,
     *,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
-    faults: Optional[FaultPlan] = None,
+    faults: FaultPlan | None = None,
     reliable: bool = False,
-    transport: Optional[dict] = None,
+    transport: dict | None = None,
 ) -> RunResult:
     """Broadcast ``value`` down ``tree`` from ``root``; cost w(T), time depth(T)."""
     _, children = rooted_tree_structure(tree, root)
-    factory = lambda v: BroadcastProcess(children[v], v == root, value)  # noqa: E731
+    factory = lambda v: BroadcastProcess(children[v], v == root, value)
     if reliable:
         factory = reliable_factory(factory, **(transport or {}))
     net = Network(tree, factory, delay=delay, seed=seed, faults=faults)
@@ -142,15 +142,15 @@ def run_convergecast(
     values: dict[Vertex, Any],
     combine: Callable[[Any, Any], Any],
     *,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
-    faults: Optional[FaultPlan] = None,
+    faults: FaultPlan | None = None,
     reliable: bool = False,
-    transport: Optional[dict] = None,
+    transport: dict | None = None,
 ) -> tuple[RunResult, Any]:
     """Aggregate ``values`` up ``tree``; returns (run result, root aggregate)."""
     parent, children = rooted_tree_structure(tree, root)
-    factory = lambda v: ConvergecastProcess(  # noqa: E731
+    factory = lambda v: ConvergecastProcess(
         parent[v], children[v], values[v], combine
     )
     if reliable:

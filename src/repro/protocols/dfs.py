@@ -24,7 +24,7 @@ factor of ``EST_C`` (the paper's "sum of a geometric progression").
 from __future__ import annotations
 
 from collections.abc import Callable
-from typing import Any, Optional
+from typing import Any
 
 from ..faults.plan import FaultPlan
 from ..faults.transport import reliable_factory
@@ -63,15 +63,15 @@ _PERMIT = "permit"    # (kind, est_r, path) routed back down
 class DfsProcess(Process):
     """One node of the token-DFS protocol."""
 
-    def __init__(self, is_root: bool, governor: Optional[Governor] = None,
+    def __init__(self, is_root: bool, governor: Governor | None = None,
                  algo_name: str = "DFS") -> None:
         self.is_root = is_root
         self.governor = governor if governor is not None else Governor()
         self.algo_name = algo_name
         self.visited = False
-        self.parent: Optional[Vertex] = None
+        self.parent: Vertex | None = None
         self._unexplored: list[Vertex] = []
-        self._pending: Optional[tuple[Vertex, float, float]] = None
+        self._pending: tuple[Vertex, float, float] | None = None
         self.est_root = 0.0  # meaningful at the root only
         self.children: list[Vertex] = []  # DFS tree children (filled as we go)
 
@@ -177,14 +177,14 @@ def run_dfs(
     graph: WeightedGraph,
     root: Vertex,
     *,
-    governor: Optional[Governor] = None,
-    delay: Optional[DelayModel] = None,
+    governor: Governor | None = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
-    budget: Optional[float] = None,
-    faults: Optional[FaultPlan] = None,
+    budget: float | None = None,
+    faults: FaultPlan | None = None,
     reliable: bool = False,
-    transport: Optional[dict] = None,
-) -> tuple[RunResult, Optional[WeightedGraph]]:
+    transport: dict | None = None,
+) -> tuple[RunResult, WeightedGraph | None]:
     """Run token DFS from ``root``; returns (run result, DFS spanning tree).
 
     With a ``budget``, the run is aborted once the communication cost
@@ -193,7 +193,7 @@ def run_dfs(
     The same ``None``-tree contract covers a run stalled by a ``faults``
     adversary; ``reliable=True`` adds the retransmitting transport.
     """
-    factory = lambda v: DfsProcess(v == root, governor)  # noqa: E731
+    factory = lambda v: DfsProcess(v == root, governor)
     if reliable:
         factory = reliable_factory(factory, **(transport or {}))
     net = Network(

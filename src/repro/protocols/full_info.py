@@ -24,7 +24,7 @@ before every phase, so a hybrid can suspend the algorithm between phases.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.mst import prim_mst
 from ..graphs.paths import dijkstra
@@ -106,7 +106,7 @@ class GrowthPlan:
         self.root = root
         self.order = order  # order[i] = (u, v): phase i+1 attaches v below u
         n = len(order) + 1
-        self.parent: dict[Vertex, Optional[Vertex]] = {root: None}
+        self.parent: dict[Vertex, Vertex | None] = {root: None}
         self.children: dict[Vertex, list[Vertex]] = {root: []}
         self.join_phase: dict[Vertex, int] = {root: 0}
         # Cumulative *protocol* cost after each phase (root's precise
@@ -149,7 +149,7 @@ _DONE = "done"      # final broadcast
 class FullInfoGrowthProcess(Process):
     """One node of MST_centr / SPT_centr."""
 
-    def __init__(self, plan: GrowthPlan, governor: Optional[Governor] = None,
+    def __init__(self, plan: GrowthPlan, governor: Governor | None = None,
                  algo_name: str = "centr", tag: str = "centr") -> None:
         self.plan = plan
         self.governor = governor if governor is not None else Governor()
@@ -240,11 +240,11 @@ def _run_growth(
     order: list[tuple[Vertex, Vertex]],
     algo_name: str,
     *,
-    governor: Optional[Governor] = None,
-    delay: Optional[DelayModel] = None,
+    governor: Governor | None = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
-    budget: Optional[float] = None,
-) -> tuple[RunResult, Optional[WeightedGraph]]:
+    budget: float | None = None,
+) -> tuple[RunResult, WeightedGraph | None]:
     plan = GrowthPlan(graph, root, order)
     gov = governor if governor is not None else Governor()
     net = Network(
@@ -264,11 +264,11 @@ def run_mst_centr(
     graph: WeightedGraph,
     root: Vertex,
     *,
-    governor: Optional[Governor] = None,
-    delay: Optional[DelayModel] = None,
+    governor: Governor | None = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
-    budget: Optional[float] = None,
-) -> tuple[RunResult, Optional[WeightedGraph]]:
+    budget: float | None = None,
+) -> tuple[RunResult, WeightedGraph | None]:
     """Run MST_centr; returns (run result, the MST or None on budget)."""
     return _run_growth(graph, root, prim_order(graph, root), "MST_centr",
                        governor=governor, delay=delay, seed=seed,
@@ -279,11 +279,11 @@ def run_spt_centr(
     graph: WeightedGraph,
     root: Vertex,
     *,
-    governor: Optional[Governor] = None,
-    delay: Optional[DelayModel] = None,
+    governor: Governor | None = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
-    budget: Optional[float] = None,
-) -> tuple[RunResult, Optional[WeightedGraph]]:
+    budget: float | None = None,
+) -> tuple[RunResult, WeightedGraph | None]:
     """Run SPT_centr; returns (run result, the SPT or None on budget)."""
     return _run_growth(graph, root, dijkstra_order(graph, root), "SPT_centr",
                        governor=governor, delay=delay, seed=seed,

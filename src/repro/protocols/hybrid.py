@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..sim.delays import DelayModel
@@ -118,7 +118,7 @@ def run_con_hybrid(
     graph: WeightedGraph,
     root: Vertex,
     *,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
 ) -> RaceOutcome:
     """CON_hybrid (Section 7.2): DFS raced against MST_centr.
@@ -148,7 +148,7 @@ def run_mst_hybrid(
     graph: WeightedGraph,
     root: Vertex,
     *,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
 ) -> RaceOutcome:
     """MST_hybrid (Section 8.2): MST_ghs raced against MST_centr.
@@ -177,7 +177,7 @@ def run_spt_hybrid(
     source: Vertex,
     *,
     k: int = 2,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
 ) -> RaceOutcome:
     """SPT_hybrid (Section 9.3): SPT_synch raced against SPT_recur."""

@@ -15,7 +15,6 @@ performs), and is also available as the COUNT global function of
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..sim.delays import DelayModel
@@ -28,7 +27,7 @@ __all__ = ["run_leader_election"]
 def run_leader_election(
     graph: WeightedGraph,
     *,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
 ) -> tuple[RunResult, Vertex]:
     """Elect a unique leader known to every node.

@@ -15,7 +15,7 @@ view of the Omega(D) time bound of Theorem 2.1.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.paths import diameter
 from ..graphs.weighted_graph import Vertex, WeightedGraph
@@ -54,7 +54,7 @@ class SyncMaxConsensus(SynchronousProtocol):
 def run_max_consensus_reference(
     graph: WeightedGraph,
     values: dict[Vertex, Any],
-    stop_pulse: Optional[int] = None,
+    stop_pulse: int | None = None,
 ):
     """Reference synchronous run; returns the SyncRunResult."""
     if stop_pulse is None:
@@ -71,8 +71,8 @@ def run_max_consensus_gamma_w(
     values: dict[Vertex, Any],
     *,
     k: int = 2,
-    stop_pulse: Optional[int] = None,
-    delay: Optional[DelayModel] = None,
+    stop_pulse: int | None = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
 ) -> GammaWResult:
     """Max-consensus on the asynchronous network via synchronizer gamma_w."""

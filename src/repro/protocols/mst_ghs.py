@@ -25,7 +25,7 @@ so the computed tree is always *an* MST (unique under the extended order).
 from __future__ import annotations
 
 import math
-from typing import Any, Optional
+from typing import Any
 
 from ..faults.plan import FaultPlan
 from ..faults.transport import reliable_factory
@@ -56,7 +56,7 @@ class GhsProcess(Process):
     """One node of GHS (serial scan) or MST_fast (threshold parallel scan)."""
 
     def __init__(self, parallel_scan: bool = False,
-                 n_total: Optional[int] = None) -> None:
+                 n_total: int | None = None) -> None:
         self.parallel_scan = parallel_scan
         # Full-information assumption (Section 1.4.1): n is common
         # knowledge, letting a fragment that spans all n vertices halt by
@@ -68,18 +68,18 @@ class GhsProcess(Process):
         self.level = 0
         self.fragment: tuple = ()          # fragment name (core edge key)
         self.edge_state: dict[Vertex, str] = {}
-        self.in_branch: Optional[Vertex] = None
+        self.in_branch: Vertex | None = None
         self.find_count = 0
-        self.best_edge: Optional[Vertex] = None
+        self.best_edge: Vertex | None = None
         self.best_key: tuple = _INF_KEY
         # Search state.
-        self.test_edge: Optional[Vertex] = None   # serial mode
+        self.test_edge: Vertex | None = None   # serial mode
         self.outstanding: set[Vertex] = set()      # parallel mode
         self.threshold: float = 1.0                # parallel mode guess
         self.local_candidate: tuple = _INF_KEY
-        self.local_candidate_edge: Optional[Vertex] = None
+        self.local_candidate_edge: Vertex | None = None
         self.halted = False
-        self.leader: Optional[Vertex] = None  # set when HALT propagates
+        self.leader: Vertex | None = None  # set when HALT propagates
         self._child_more = False  # a child subtree has unprobed heavy edges
         self._deferred: list[tuple[Vertex, Any]] = []
 
@@ -434,7 +434,7 @@ class GhsProcess(Process):
         """
         return max(self.node_id, self.in_branch, key=repr)
 
-    def _on_halt(self, frm: Optional[Vertex], leader: Vertex) -> None:
+    def _on_halt(self, frm: Vertex | None, leader: Vertex) -> None:
         if self.halted:
             return
         self.halted = True
@@ -456,15 +456,15 @@ def _collect_tree(graph: WeightedGraph, result: RunResult) -> WeightedGraph:
 
 def _run(graph: WeightedGraph, parallel_scan: bool, delay, seed: int,
          max_events: int,
-         budget: Optional[float] = None,
-         faults: Optional[FaultPlan] = None,
+         budget: float | None = None,
+         faults: FaultPlan | None = None,
          reliable: bool = False,
-         transport: Optional[dict] = None,
-         ) -> tuple[RunResult, Optional[WeightedGraph]]:
+         transport: dict | None = None,
+         ) -> tuple[RunResult, WeightedGraph | None]:
     if graph.num_vertices < 2:
         raise ValueError("GHS needs at least two vertices")
     n = graph.num_vertices
-    factory = lambda v: GhsProcess(parallel_scan, n_total=n)  # noqa: E731
+    factory = lambda v: GhsProcess(parallel_scan, n_total=n)
     if reliable:
         factory = reliable_factory(factory, **(transport or {}))
     net = Network(
@@ -489,14 +489,14 @@ def _run(graph: WeightedGraph, parallel_scan: bool, delay, seed: int,
 def run_mst_ghs(
     graph: WeightedGraph,
     *,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
     max_events: int = 20_000_000,
-    budget: Optional[float] = None,
-    faults: Optional[FaultPlan] = None,
+    budget: float | None = None,
+    faults: FaultPlan | None = None,
     reliable: bool = False,
-    transport: Optional[dict] = None,
-) -> tuple[RunResult, Optional[WeightedGraph]]:
+    transport: dict | None = None,
+) -> tuple[RunResult, WeightedGraph | None]:
     """Algorithm MST_ghs: classical GHS (serial edge scan)."""
     return _run(graph, False, delay, seed, max_events, budget,
                 faults, reliable, transport)
@@ -505,14 +505,14 @@ def run_mst_ghs(
 def run_mst_fast(
     graph: WeightedGraph,
     *,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
     max_events: int = 20_000_000,
-    budget: Optional[float] = None,
-    faults: Optional[FaultPlan] = None,
+    budget: float | None = None,
+    faults: FaultPlan | None = None,
     reliable: bool = False,
-    transport: Optional[dict] = None,
-) -> tuple[RunResult, Optional[WeightedGraph]]:
+    transport: dict | None = None,
+) -> tuple[RunResult, WeightedGraph | None]:
     """Algorithm MST_fast: guess-doubling threshold + parallel edge scan."""
     return _run(graph, True, delay, seed, max_events, budget,
                 faults, reliable, transport)

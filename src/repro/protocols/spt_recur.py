@@ -32,7 +32,7 @@ see DESIGN.md for the substitution note).
 from __future__ import annotations
 
 import math
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.paths import diameter
 from ..graphs.weighted_graph import Vertex, WeightedGraph
@@ -61,7 +61,7 @@ def unit_expansion(graph: WeightedGraph) -> tuple[WeightedGraph, dict]:
             continue
         a, b = (u, v) if repr(u) <= repr(v) else (v, u)
         chain = [a] + [("dummy", a, b, i) for i in range(w - 1)] + [b]
-        for x, y in zip(chain, chain[1:]):
+        for x, y in zip(chain, chain[1:]):  # noqa: B905  # pairwise walk wants the short zip
             g.add_edge(x, y, 1.0)
         for i in range(w - 1):
             info[("dummy", a, b, i)] = (a, b)
@@ -86,11 +86,11 @@ class StripBfsProcess(Process):
         self.stride = stride
         self.n_total = n_total
         self.dist: float = 0.0 if is_source else math.inf
-        self.parent: Optional[Vertex] = None
+        self.parent: Vertex | None = None
         self.children: dict[Vertex, float] = {}  # child -> its latest dist
         # Dijkstra-Scholten engagement state.
         self.deficit = 0
-        self.engager: Optional[Vertex] = None
+        self.engager: Vertex | None = None
         self.adopted_acc = 0   # adoption counts accumulated toward our ack
         # Strip control plane (valid once GO reached us / at the source).
         self.control_strip = -1
@@ -240,12 +240,12 @@ def run_spt_recur(
     graph: WeightedGraph,
     source: Vertex,
     *,
-    stride: Optional[int] = None,
-    delay: Optional[DelayModel] = None,
+    stride: int | None = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
     max_events: int = 20_000_000,
-    budget: Optional[float] = None,
-) -> tuple[RunResult, Optional[WeightedGraph]]:
+    budget: float | None = None,
+) -> tuple[RunResult, WeightedGraph | None]:
     """Algorithm SPT_recur: strip BFS on the unit expansion of ``graph``.
 
     Returns (run result on the expanded graph, the SPT of the original

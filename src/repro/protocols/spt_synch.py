@@ -15,7 +15,7 @@ algorithm: communication ``O(E + D * k n log n)`` and time
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.paths import diameter
 from ..graphs.weighted_graph import Vertex, WeightedGraph
@@ -38,7 +38,7 @@ class SyncBellmanFord(SynchronousProtocol):
         self.is_source = is_source
         self.stop_pulse = stop_pulse
         self.dist = 0.0 if is_source else float("inf")
-        self.parent: Optional[Vertex] = None
+        self.parent: Vertex | None = None
 
     def on_pulse(self, pulse: int, inbox: list[tuple[Vertex, Any]]) -> None:
         improved = pulse == 0 and self.is_source
@@ -63,7 +63,7 @@ def _tree_from_results(graph: WeightedGraph, results: dict) -> WeightedGraph:
 
 
 def run_spt_synchronous_reference(
-    graph: WeightedGraph, source: Vertex, stop_pulse: Optional[int] = None
+    graph: WeightedGraph, source: Vertex, stop_pulse: int | None = None
 ):
     """Bellman-Ford on the weighted synchronous network (the c_pi baseline).
 
@@ -86,11 +86,11 @@ def run_spt_synch(
     source: Vertex,
     *,
     k: int = 2,
-    stop_pulse: Optional[int] = None,
-    delay: Optional[DelayModel] = None,
+    stop_pulse: int | None = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
-    budget: Optional[float] = None,
-) -> tuple[GammaWResult, Optional[WeightedGraph]]:
+    budget: float | None = None,
+) -> tuple[GammaWResult, WeightedGraph | None]:
     """Algorithm SPT_synch: Bellman-Ford under gamma_w on the async network.
 
     Returns (gamma_w result with overhead accounting, the SPT).  Note the

@@ -20,7 +20,7 @@ the final announcement.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..sim.delays import DelayModel
@@ -33,7 +33,7 @@ __all__ = ["DSHost", "run_with_termination_detection"]
 class _InnerShim:
     """Routes the hosted protocol's sends through the DS accounting."""
 
-    def __init__(self, host: "DSHost") -> None:
+    def __init__(self, host: DSHost) -> None:
         self._host = host
         self.node_id = host.node_id
         self.neighbors = host.ctx.neighbors
@@ -45,7 +45,7 @@ class _InnerShim:
     def now(self) -> float:
         return self._host.ctx.now
 
-    def send(self, to: Vertex, payload: Any, size: float, tag: Optional[str]) -> None:
+    def send(self, to: Vertex, payload: Any, size: float, tag: str | None) -> None:
         self._host.ds_send(to, payload, size, tag)
 
     def set_timer(self, delay, callback) -> None:
@@ -70,7 +70,7 @@ class DSHost(Process):
         self.inner = inner
         self.is_initiator = is_initiator
         self.deficit = 0
-        self.engager: Optional[Vertex] = None
+        self.engager: Vertex | None = None
         self.terminated = False
 
     def on_start(self) -> None:
@@ -82,7 +82,7 @@ class DSHost(Process):
     # ------------------------------------------------------------- #
 
     def ds_send(self, to: Vertex, payload: Any, size: float,
-                tag: Optional[str]) -> None:
+                tag: str | None) -> None:
         self.deficit += 1
         self.send(to, ("m", payload), size=size, tag=f"ds-proto.{tag or 'msg'}")
 
@@ -115,7 +115,7 @@ class DSHost(Process):
             # The whole diffusing computation is quiescent.
             self._announce(None)
 
-    def _announce(self, frm: Optional[Vertex]) -> None:
+    def _announce(self, frm: Vertex | None) -> None:
         if self.terminated:
             return
         self.terminated = True
@@ -130,7 +130,7 @@ def run_with_termination_detection(
     inner_factory,
     initiator: Vertex,
     *,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
     max_events: int = 10_000_000,
 ) -> RunResult:

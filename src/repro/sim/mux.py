@@ -11,7 +11,7 @@ wrapped as ``(part_key, payload)``.
 from __future__ import annotations
 
 from collections.abc import Callable
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.weighted_graph import Vertex
 from .process import Process
@@ -24,7 +24,7 @@ class _PartContext:
 
     __slots__ = ("_outer", "_key", "is_finished", "result")
 
-    def __init__(self, outer: "MuxProcess", key: str) -> None:
+    def __init__(self, outer: MuxProcess, key: str) -> None:
         self._outer = outer
         self._key = key
         self.is_finished = False
@@ -46,7 +46,7 @@ class _PartContext:
     def now(self) -> float:
         return self._outer.ctx.now
 
-    def send(self, to: Vertex, payload: Any, size: float, tag: Optional[str]) -> None:
+    def send(self, to: Vertex, payload: Any, size: float, tag: str | None) -> None:
         # Namespace the metrics tag by part key so hybrids can split costs.
         full_tag = self._key if tag is None else f"{self._key}.{tag}"
         self._outer.ctx.send(to, (self._key, payload), size, full_tag)
@@ -77,7 +77,7 @@ class MuxProcess(Process):
     def __init__(
         self,
         parts: dict[str, Process],
-        finish_when: Optional[Callable[[set], bool]] = None,
+        finish_when: Callable[[set], bool] | None = None,
     ) -> None:
         self.parts = parts
         self._finished_parts: set[str] = set()

@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 from collections.abc import Callable
 from contextlib import nullcontext
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..obs.runtime import default_recorder as _default_recorder
@@ -43,7 +43,7 @@ class _NodeContext:
 
     __slots__ = ("_network", "node_id", "neighbors", "weights", "is_finished", "result")
 
-    def __init__(self, network: "Network", node_id: Vertex) -> None:
+    def __init__(self, network: Network, node_id: Vertex) -> None:
         self._network = network
         self.node_id = node_id
         self.neighbors = network.graph.neighbors(node_id)
@@ -55,7 +55,7 @@ class _NodeContext:
     def now(self) -> float:
         return self._network.queue.now
 
-    def send(self, to: Vertex, payload: Any, size: float, tag: Optional[str]) -> None:
+    def send(self, to: Vertex, payload: Any, size: float, tag: str | None) -> None:
         if to not in self.weights:
             raise ValueError(f"{self.node_id!r} has no edge to {to!r}")
         self._network._transmit(self.node_id, to, payload, size, tag)
@@ -166,6 +166,15 @@ class Network:
         (e.g. :class:`~repro.obs.recorder.NullRecorder`) is normalized
         away at construction so the hot path pays a single ``is None``
         check.  Composes with ``trace``: when both are given, both fire.
+    race_detect:
+        Arm the :class:`~repro.analysis.race.RaceDetector`: ``True``
+        raises :class:`~repro.analysis.race.SharedStateViolation` on the
+        first cross-process attribute write or post-send payload
+        mutation; ``"record"`` collects violations on
+        ``race_detector.violations`` (and emits ``violation`` trace
+        events when a recorder is attached) without aborting.  Never
+        perturbs the run itself: the detector only observes, so results
+        and metrics are byte-identical with and without it.
     """
 
     def __init__(
@@ -173,14 +182,15 @@ class Network:
         graph: WeightedGraph,
         factory: Callable[[Vertex], Process],
         *,
-        delay: Optional[DelayModel] = None,
+        delay: DelayModel | None = None,
         seed: int = 0,
         serialize: bool = False,
         default_tag: str = "msg",
-        comm_budget: Optional[float] = None,
-        trace: Optional[Callable[[float, Vertex, Vertex, str, float], None]] = None,
-        faults: Optional[Any] = None,
-        recorder: Optional[Any] = None,
+        comm_budget: float | None = None,
+        trace: Callable[[float, Vertex, Vertex, str, float], None] | None = None,
+        faults: Any | None = None,
+        recorder: Any | None = None,
+        race_detect: Any = False,
     ) -> None:
         self.graph = graph
         self.queue = EventQueue()
@@ -229,13 +239,26 @@ class Network:
             proc = factory(v)
             proc.ctx = _NodeContext(self, v)
             self.processes[v] = proc
+        # Shared-state race detector (repro.analysis.race).  `_race` is the
+        # normalized handle: None unless armed, so the send path pays one
+        # identity check and the delivery path none at all (the detector
+        # swaps in wrapped delivery methods as instance attributes).
+        self.race_detector = None
+        self._race = None
+        if race_detect:
+            from ..analysis.race import RaceDetector
+
+            mode = race_detect if isinstance(race_detect, str) else "raise"
+            self.race_detector = RaceDetector(mode)
+            self._race = self.race_detector
+            self.race_detector.attach(self)
 
     # ------------------------------------------------------------------ #
     # Internal plumbing
     # ------------------------------------------------------------------ #
 
     def _transmit(
-        self, frm: Vertex, to: Vertex, payload: Any, size: float, tag: Optional[str]
+        self, frm: Vertex, to: Vertex, payload: Any, size: float, tag: str | None
     ) -> None:
         if frm in self._down:
             return  # a crashed node cannot transmit
@@ -271,6 +294,7 @@ class Network:
         # transmission, which is what makes retransmission overhead a
         # meaningful cost-sensitive quantity.
         self._channel_clear[channel] = arrive
+        race = self._race
         if self.faults is None:
             # schedule_call_at stores (fn, args) in the event's slots: no
             # capturing closure is allocated per message, and same-time
@@ -281,6 +305,8 @@ class Network:
             else:
                 self.queue.schedule_call_at(arrive, self._deliver_traced,
                                             frm, to, payload, msg_id)
+            if race is not None:
+                race.note_scheduled(payload)
             return
         fate, deliveries = self.faults.fate(frm, to, weight, payload,
                                             self.fault_rng)
@@ -300,6 +326,8 @@ class Network:
                     arrive + extra, self._deliver_traced,
                     frm, to, out_payload, msg_id
                 )
+            if race is not None:
+                race.note_scheduled(out_payload)
 
     def _deliver(self, frm: Vertex, to: Vertex, payload: Any) -> None:
         if to in self._down:
@@ -356,9 +384,17 @@ class Network:
         self.metrics.record_fault("recover")
         if self._rec is not None:
             self._rec.record_recover(self.queue.now, node)
+        race = self._race
         for cb in self._deferred_timers.pop(node, []):
-            self.queue.schedule(0.0, cb)
-        self.processes[node].on_recover()
+            # Deferred timers re-enter the queue directly (not through
+            # _timer_fire), so ownership attribution needs a wrapper.
+            self.queue.schedule(
+                0.0, cb if race is None else race.owned_callback(node, cb))
+        if race is None:
+            self.processes[node].on_recover()
+        else:
+            with race.run_as(node):
+                self.processes[node].on_recover()
 
     def node_is_up(self, node: Vertex) -> bool:
         return node not in self._down
@@ -383,7 +419,7 @@ class Network:
         *,
         max_time: float = float("inf"),
         max_events: int = 50_000_000,
-        stop_when: Optional[Callable[["Network"], bool]] = None,
+        stop_when: Callable[["Network"], bool] | None = None,
     ) -> RunResult:
         """Start every process and run events until quiescence or a stop.
 
@@ -403,8 +439,13 @@ class Network:
                 self.queue.schedule_call_at(start, self._crash, node)
                 if end is not None and end != float("inf"):
                     self.queue.schedule_call_at(end, self._recover, node)
-        for proc in self.processes.values():
-            proc.on_start()
+        if self._race is None:
+            for proc in self.processes.values():
+                proc.on_start()
+        else:
+            for node, proc in self.processes.items():
+                with self._race.run_as(node):
+                    proc.on_start()
         status = "quiescent"
         fired = 0
         if stop_when is None:

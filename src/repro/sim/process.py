@@ -11,7 +11,7 @@ by handing the factory the whole graph).
 from __future__ import annotations
 
 from collections.abc import Callable
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.weighted_graph import Vertex
 
@@ -69,7 +69,7 @@ class Process:
         return self.ctx.weights[neighbor]
 
     def send(self, to: Vertex, payload: Any, *, size: float = 1.0,
-             tag: Optional[str] = None) -> None:
+             tag: str | None = None) -> None:
         """Transmit a message to a *neighbor*; costs ``w(e) * size``."""
         self.ctx.send(to, payload, size, tag)
 

@@ -11,7 +11,7 @@ incident edge — ``Theta(W)`` overall — whereas the lower bound is only
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..sim.delays import DelayModel
@@ -48,7 +48,7 @@ def run_alpha_star(
     graph: WeightedGraph,
     target: int,
     *,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
     serialize: bool = False,
 ) -> ClockStats:

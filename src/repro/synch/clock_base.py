@@ -10,7 +10,6 @@ paper's gamma* achieves ``O(d log^2 n)``.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..graphs.weighted_graph import WeightedGraph
 from ..sim.delays import DelayModel
@@ -72,7 +71,7 @@ def run_clock_sync(
     factory,
     target: int,
     *,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
     serialize: bool = False,
 ) -> ClockStats:

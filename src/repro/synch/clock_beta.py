@@ -14,7 +14,7 @@ spanning tree and select a leader".
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.paths import radius_center, shortest_path_tree
 from ..graphs.weighted_graph import Vertex, WeightedGraph
@@ -37,7 +37,7 @@ class BetaStarProcess(ClockProcess):
     def __init__(
         self,
         target: int,
-        parent: Optional[Vertex],
+        parent: Vertex | None,
         children: list[Vertex],
     ) -> None:
         super().__init__(target)
@@ -80,9 +80,9 @@ def run_beta_star(
     graph: WeightedGraph,
     target: int,
     *,
-    tree: Optional[WeightedGraph] = None,
-    root: Optional[Vertex] = None,
-    delay: Optional[DelayModel] = None,
+    tree: WeightedGraph | None = None,
+    root: Vertex | None = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
     serialize: bool = False,
 ) -> ClockStats:

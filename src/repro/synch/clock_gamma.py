@@ -23,7 +23,7 @@ total pulse delay ``O(d log^2 n)``, against the ``Omega(d)`` lower bound.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Optional
+from typing import Any
 
 from ..covers.tree_cover import TreeEdgeCover, build_tree_edge_cover
 from ..graphs.weighted_graph import Vertex, WeightedGraph
@@ -180,8 +180,8 @@ def run_gamma_star(
     graph: WeightedGraph,
     target: int,
     *,
-    cover: Optional[TreeEdgeCover] = None,
-    delay: Optional[DelayModel] = None,
+    cover: TreeEdgeCover | None = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
     serialize: bool = False,
 ) -> ClockStats:

@@ -35,7 +35,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from collections.abc import Callable
-from typing import Any, Optional
+from typing import Any
 
 from ..graphs.weighted_graph import Vertex, WeightedGraph
 from ..sim.delays import DelayModel
@@ -84,7 +84,7 @@ class GammaWConfig:
 class _HostSyncShim:
     """The SyncContext look-alike handed to the hosted InSynchWrapper."""
 
-    def __init__(self, host: "GammaWHost") -> None:
+    def __init__(self, host: GammaWHost) -> None:
         self._host = host
         self.node_id = host.node_id
         self.neighbors = host.ctx.neighbors
@@ -277,11 +277,11 @@ def run_gamma_w(
     *,
     k: int = 2,
     max_pulse: int,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
-    config: Optional[GammaWConfig] = None,
-    budget: Optional[float] = None,
-    recorder: Optional[Any] = None,
+    config: GammaWConfig | None = None,
+    budget: float | None = None,
+    recorder: Any | None = None,
 ) -> GammaWResult:
     """Run a synchronous protocol on an asynchronous network via gamma_w.
 

@@ -37,7 +37,7 @@ __all__ = ["HostSyncShim", "SynchronizerHostBase"]
 class HostSyncShim:
     """SyncContext look-alike handed to the hosted InSynchWrapper."""
 
-    def __init__(self, host: "SynchronizerHostBase") -> None:
+    def __init__(self, host: SynchronizerHostBase) -> None:
         self._host = host
         self.node_id = host.node_id
         self.neighbors = host.ctx.neighbors

@@ -82,7 +82,7 @@ class InSynchWrapper(SynchronousProtocol):
     # The runner injects self.sync; the inner protocol gets a shim that
     # captures its sends so we can defer them.
     class _InnerSync:
-        def __init__(self, outer: "InSynchWrapper") -> None:
+        def __init__(self, outer: InSynchWrapper) -> None:
             self._outer = outer
             self.outbox: list = []
             self.finished = False

@@ -109,7 +109,7 @@ def build_partition(graph: WeightedGraph, k: int = 2) -> ClusterPartition:
         index = len(clusters)
         info = _make_cluster(graph, index, seed, ball)
         clusters.append(info)
-        for v in ball:
+        for v in sorted(ball, key=repr):  # deterministic cluster_of order
             cluster_of[v] = index
         unassigned -= ball
 
@@ -136,7 +136,7 @@ def _make_cluster(
 ) -> ClusterInfo:
     """Root a BFS spanning tree of the cluster's induced subgraph."""
     parent: dict = {leader: None}
-    children: dict = {v: [] for v in members}
+    children: dict = {v: [] for v in sorted(members, key=repr)}
     depth = {leader: 0}
     frontier = [leader]
     max_depth = 0

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from collections.abc import Callable
-from typing import Any, Optional
+from typing import Any
 
 from ..faults.plan import FaultPlan
 from ..faults.transport import reliable_factory
@@ -91,7 +91,7 @@ class BetaWHost(SynchronizerHostBase):
     """
 
     def __init__(self, node_id, original, inner_factory, max_pulse,
-                 tree_parent: Optional[Vertex],
+                 tree_parent: Vertex | None,
                  tree_children: list[Vertex]) -> None:
         super().__init__(node_id, original, inner_factory, max_pulse)
         self.tree_parent = tree_parent
@@ -202,11 +202,11 @@ def run_alpha_w(
     inner_factory: Callable[[Vertex], SynchronousProtocol],
     *,
     max_pulse: int,
-    delay: Optional[DelayModel] = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
-    faults: Optional[FaultPlan] = None,
+    faults: FaultPlan | None = None,
     reliable: bool = False,
-    transport: Optional[dict] = None,
+    transport: dict | None = None,
 ) -> SimpleSyncResult:
     """Run a synchronous protocol under synchronizer alpha_w."""
     return _run_host(
@@ -222,13 +222,13 @@ def run_beta_w(
     inner_factory: Callable[[Vertex], SynchronousProtocol],
     *,
     max_pulse: int,
-    tree: Optional[WeightedGraph] = None,
-    root: Optional[Vertex] = None,
-    delay: Optional[DelayModel] = None,
+    tree: WeightedGraph | None = None,
+    root: Vertex | None = None,
+    delay: DelayModel | None = None,
     seed: int = 0,
-    faults: Optional[FaultPlan] = None,
+    faults: FaultPlan | None = None,
     reliable: bool = False,
-    transport: Optional[dict] = None,
+    transport: dict | None = None,
 ) -> SimpleSyncResult:
     """Run a synchronous protocol under synchronizer beta_w.
 

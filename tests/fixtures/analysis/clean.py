@@ -1,0 +1,32 @@
+"""Clean fixture: exercises near-miss patterns; no rule may fire."""
+
+import random
+
+
+class TidyProcess:
+    def on_start(self):
+        self.rng = random.Random(7)  # seeded instance, not the global stream
+        self.peers = set()
+
+    def on_message(self, frm, payload):
+        self.peers.add(frm)
+        for p in sorted(self.peers):  # sorted() normalizes the set order
+            self.note(p)
+        if len(self.peers) > 2 and any(p is None for p in self.peers):
+            self.note(min(self.peers))  # order-insensitive consumers
+
+    def note(self, p):
+        self.last = p
+
+
+class FreshGraph:
+    def __init__(self, edges):
+        self._adj = {}  # whole-attribute init is construction, not mutation
+        self._version = 0
+        for u, v, w in edges:
+            self.add_edge(u, v, w)
+
+    def add_edge(self, u, v, w):
+        self._adj.setdefault(u, {})[v] = w
+        self._adj.setdefault(v, {})[u] = w
+        self._version += 1

@@ -1,0 +1,15 @@
+"""Planted violations for RS001 only: hash-order set iteration."""
+
+
+def hash_order_everywhere(extra: set):
+    tags = {"a", "b", "c"}
+    out = []
+    for t in tags:  # RS001: for-loop over a set literal
+        out.append(t)
+    first = next(iter(tags))  # RS001: arbitrary-element selection
+    listed = list(tags)  # RS001: materializes hash order
+    joined = ",".join(tags)  # RS001: concatenates in hash order
+    pairs = [t.upper() for t in tags]  # RS001: comprehension over a set
+    for e in extra:  # RS001: annotated set parameter
+        out.append(e)
+    return out, first, listed, joined, pairs

@@ -1,0 +1,10 @@
+"""Planted violations for RS002 only: the process-global RNG stream."""
+
+import random
+from random import shuffle  # RS002: binds the global stream
+
+
+def jitter(values):
+    random.shuffle(values)  # RS002: module-level call
+    shuffle(values)
+    return random.random()  # RS002: module-level call

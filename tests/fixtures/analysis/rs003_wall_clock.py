@@ -1,0 +1,13 @@
+"""Planted violations for RS003 only: wall-clock and entropy reads."""
+
+import os
+import time
+import uuid
+from time import perf_counter  # RS003: wall-clock import
+
+
+def stamp():
+    t = time.time()  # RS003: wall clock
+    token = uuid.uuid4()  # RS003: entropy-derived
+    noise = os.urandom(8)  # RS003: OS entropy
+    return t, token, noise, perf_counter()

@@ -1,0 +1,23 @@
+"""Planted violations for RS004 only: adjacency writes vs. _version."""
+
+
+class VersionedGraph:
+    """Mimics WeightedGraph's cache-invalidation contract."""
+
+    def __init__(self):
+        self._adj = {}
+        self._version = 0
+
+    def add_edge(self, u, v, w):
+        # Mutates self._adj AND bumps _version: clean.
+        self._adj.setdefault(u, {})[v] = w
+        self._adj.setdefault(v, {})[u] = w
+        self._version += 1
+
+    def remove_edge_stale(self, u, v):
+        del self._adj[u][v]  # RS004: mutation with no _version bump
+        del self._adj[v][u]
+
+
+def poke(graph, u, v, w):
+    graph._adj[u][v] = w  # RS004: external direct adjacency write

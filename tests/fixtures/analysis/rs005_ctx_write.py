@@ -1,0 +1,11 @@
+"""Planted violations for RS005 only: simulator-owned state via ctx."""
+
+
+class LeakyProcess:
+    def on_start(self):
+        self.buffer = []  # node-local attribute: clean
+
+    def on_message(self, frm, payload):
+        self.ctx.now = 0.0  # RS005: write through ctx
+        self.ctx.network.paused = True  # RS005: deeper write through ctx
+        self.neighbors().sort()  # RS005: mutates the framework's list

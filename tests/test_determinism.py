@@ -13,6 +13,8 @@ The whole experiment layer rests on runs being pure functions of
   the identical order on replay.
 """
 
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.chaos import chaos_matrix, make_cases
@@ -126,3 +128,64 @@ def _random_interleaving_trace(seed: int) -> list:
 @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
 def test_event_queue_replay_is_identical(seed):
     assert _random_interleaving_trace(seed) == _random_interleaving_trace(seed)
+
+
+# --------------------------------------------------------------------- #
+# Hash-order regressions: structures built from string vertices must be
+# identical under different PYTHONHASHSEED values (regression tests for
+# the hazards the repro.analysis linter flagged and this repo fixed:
+# connected_components root selection, partition fill order, coarsening
+# layer order).
+# --------------------------------------------------------------------- #
+
+_HASH_SNAPSHOT_CODE = """
+import json
+from repro.covers.clusters import max_cover_degree
+from repro.covers.coarsening import coarsen_cover
+from repro.graphs import WeightedGraph
+from repro.synch.partition import build_partition
+
+g = WeightedGraph()
+names = ["node-%02d" % i for i in range(12)]
+for a, b in zip(names, names[1:]):
+    g.add_edge(a, b, 1.0)
+g.add_edge(names[0], names[6], 2.0)
+for a, b in (("isle-a", "isle-b"), ("isle-b", "isle-c")):
+    g.add_edge(a, b, 1.0)
+
+part = build_partition(g, k=2)
+cover = [frozenset(names[i:i + 4]) for i in range(0, 12, 2)]
+coarse = coarsen_cover(cover, k=2)
+
+print(json.dumps({
+    "components": [sorted(c) for c in g.connected_components()],
+    "cluster_of_order": list(part.cluster_of),
+    "clusters": [
+        [c.index, repr(c.leader), sorted(c.members),
+         list(c.children), sorted(c.neighbor_clusters)]
+        for c in part.clusters
+    ],
+    "preferred": sorted(map(repr, part.preferred.items())),
+    "coarse": [[sorted(c.vertices), list(c.kernel_members)] for c in coarse],
+    "max_degree": max_cover_degree(cover),
+}))
+"""
+
+
+def _hash_snapshot(hashseed: str) -> str:
+    import os
+    import subprocess
+    import sys
+
+    env = dict(os.environ, PYTHONHASHSEED=hashseed)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(Path(__file__).parent.parent / "src"),
+                    env.get("PYTHONPATH")) if p)
+    proc = subprocess.run([sys.executable, "-c", _HASH_SNAPSHOT_CODE],
+                          capture_output=True, text=True, env=env)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_graph_structures_identical_across_hash_seeds():
+    assert _hash_snapshot("1") == _hash_snapshot("271828")
