@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.control",
     "repro.experiments",
     "repro.analysis",
+    "repro.replay",
 ]
 
 

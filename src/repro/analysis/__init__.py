@@ -23,7 +23,12 @@ from __future__ import annotations
 
 from .baseline import Baseline, BaselineError, diff_against
 from .findings import Finding
-from .race import RaceDetector, SharedStateViolation
+from .race import (
+    RaceDetector,
+    SharedStateViolation,
+    violation_signature,
+    violation_signatures,
+)
 from .rules import RULES, analyze_source
 
 __all__ = [
@@ -35,4 +40,6 @@ __all__ = [
     "diff_against",
     "RaceDetector",
     "SharedStateViolation",
+    "violation_signature",
+    "violation_signatures",
 ]

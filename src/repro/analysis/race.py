@@ -38,10 +38,11 @@ sweeping an existing suite for hazards without aborting runs.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from typing import Any
 
-__all__ = ["SharedStateViolation", "RaceDetector"]
+__all__ = ["SharedStateViolation", "RaceDetector", "violation_signature",
+           "violation_signatures"]
 
 #: Sentinel owner for framework phases (construction, scheduling) during
 #: which writes are unrestricted.
@@ -63,6 +64,29 @@ class SharedStateViolation(RuntimeError):
         self.node = node
         self.owner = owner
         self.t = t
+
+
+def violation_signature(violation: SharedStateViolation) -> tuple[str, str, str]:
+    """Canonical hashable identity of one violation: who raced with whom.
+
+    Deliberately excludes the message text and timestamp: two runs that
+    trip the *same* hazard (same kind, same actor, same victim) at
+    different times or with different payload reprs should coalesce —
+    this is the key the chaos fuzzer's coverage map dedupes on.
+    """
+    return (violation.kind, repr(violation.node), repr(violation.owner))
+
+
+def violation_signatures(
+    violations: Iterable[SharedStateViolation],
+) -> tuple[tuple[str, str, str], ...]:
+    """Sorted, deduplicated signature tuple for a run's violation list.
+
+    Plain nested tuples of strings: hashable (novelty keys), picklable
+    (crosses sweep-pool boundaries), and byte-stable under ``repr`` /
+    ``json.dumps`` (fuzz-corpus determinism).
+    """
+    return tuple(sorted({violation_signature(v) for v in violations}))
 
 
 # Generated guard subclass per original process class (shared across

@@ -20,6 +20,7 @@ from .parallel import (
     cell_seed,
     chaos_cells,
     chaos_rows,
+    register_case_provider,
     run_chaos_cell,
     run_parallel,
     summarize_chaos_entry,
@@ -39,4 +40,5 @@ __all__ = [
     "run_chaos_cell",
     "chaos_rows",
     "summarize_chaos_entry",
+    "register_case_provider",
 ]

@@ -59,6 +59,7 @@ __all__ = [
     "cell_seed",
     "parallel_plan",
     "run_parallel",
+    "register_case_provider",
     "shutdown_pool",
     "ChaosCell",
     "chaos_cells",
@@ -281,12 +282,37 @@ def chaos_cells(
     return cells
 
 
+# Extra chaos-case builders beyond the core suite, registered by other
+# subsystems (repro.replay adds a gamma_w-hosted case).  Each provider is
+# called as provider(n, extra_edges, graph_seed) -> iterable of ChaosCase.
+_case_providers: list[Callable[[int, int, int], Iterable]] = []
+
+
+def register_case_provider(provider: Callable[[int, int, int], Iterable]) -> None:
+    """Register an additional chaos-case builder (idempotent).
+
+    Providers extend the suite :func:`run_chaos_cell` can address by
+    protocol name.  Registration clears the per-process case/reference
+    memos: a pool worker may import the registering module (via the first
+    cell it unpickles) *after* its warm initializer already populated the
+    memos for the same graph shape.
+    """
+    if provider not in _case_providers:
+        _case_providers.append(provider)
+        _cases_by_name.cache_clear()
+        _reference.cache_clear()
+
+
 @lru_cache(maxsize=8)
 def _cases_by_name(n: int, extra_edges: int, graph_seed: int) -> dict:
     """Per-process memo of the case suite for one benchmark graph."""
     from .chaos import make_cases
 
-    return {c.name: c for c in make_cases(n, extra_edges, graph_seed)}
+    cases = {c.name: c for c in make_cases(n, extra_edges, graph_seed)}
+    for provider in _case_providers:
+        for case in provider(n, extra_edges, graph_seed):
+            cases[case.name] = case
+    return cases
 
 
 @lru_cache(maxsize=64)

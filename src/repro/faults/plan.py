@@ -19,6 +19,7 @@ cost-sensitive units.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from collections.abc import Callable, Collection, Iterable
 from dataclasses import dataclass, field
@@ -57,15 +58,43 @@ class CrashWindow:
     a node neither sends nor receives (in-flight messages addressed to it
     are lost) and its timers are deferred to the recovery instant; its
     local state survives (crash-recover with durable memory).
+
+    The window is validated at construction: ``start`` must be >= 0 and
+    ``end``, when finite, must be strictly after ``start`` — an inverted
+    or empty window (``start >= end``) is a plan-authoring bug, not a
+    no-op adversary.
     """
 
     node: Vertex
     start: float
     end: float | None = None
 
+    def __post_init__(self) -> None:
+        if self.start < 0.0:
+            raise ValueError(f"crash window starts before time 0: {self}")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(
+                f"crash window is inverted or empty (start >= end): {self}"
+            )
+
     def __iter__(self):
         # Lets the Network unpack windows as plain (node, start, end).
         return iter((self.node, self.start, self.end))
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; ``inf`` ends normalize to ``None`` (permanent)."""
+        end = self.end if self.end != float("inf") else None
+        return {"node": self.node, "start": self.start, "end": end}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> CrashWindow:
+        """Inverse of :meth:`to_dict`, re-validating the window."""
+        unknown = set(d) - {"node", "start", "end"}
+        if unknown:
+            raise ValueError(f"unknown CrashWindow keys: {sorted(unknown)}")
+        if "node" not in d or "start" not in d:
+            raise ValueError(f"CrashWindow dict needs node and start: {d!r}")
+        return cls(d["node"], d["start"], d.get("end"))
 
 
 def _normalize_edges(
@@ -132,15 +161,12 @@ class FaultPlan:
         if self.reorder_bound < 0.0:
             raise ValueError("reorder_bound must be >= 0")
         self._edge_set = _normalize_edges(self.edges)
+        # Normalizing plain (node, start, end) triples through CrashWindow
+        # also validates every window (start >= 0, start < end).
         self.crashes = tuple(
             cw if isinstance(cw, CrashWindow) else CrashWindow(*cw)
             for cw in self.crashes
         )
-        for cw in self.crashes:
-            if cw.start < 0.0:
-                raise ValueError(f"crash window starts before time 0: {cw}")
-            if cw.end is not None and cw.end < cw.start:
-                raise ValueError(f"crash window ends before it starts: {cw}")
 
     # ------------------------------------------------------------------ #
     # Constructors for common adversaries
@@ -185,6 +211,77 @@ class FaultPlan:
             for v in victims
         )
         return cls(crashes=windows, seed=seed, **message_faults)
+
+    # ------------------------------------------------------------------ #
+    # Serialization and mutation (the fuzzer / replay surface)
+    # ------------------------------------------------------------------ #
+
+    _RATE_FIELDS = ("drop", "duplicate", "corrupt", "reorder")
+    _DICT_KEYS = frozenset(
+        _RATE_FIELDS + ("reorder_bound", "seed", "edges", "crashes")
+    )
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form of this plan.
+
+        Zero-valued rates are kept (the dict always lists every rate), the
+        edge restriction serializes as a repr-sorted list of ``[u, v]``
+        pairs, and crash windows serialize via
+        :meth:`CrashWindow.to_dict` in (start, node-repr) order — so equal
+        plans always produce byte-identical ``json.dumps(sort_keys=True)``
+        output, which is what the fuzz corpus and replay headers key on.
+        Plans carrying a ``script`` callable are not serializable.
+        """
+        if self.script is not None:
+            raise ValueError("a scripted FaultPlan cannot be serialized "
+                             "(script callables have no canonical form)")
+        d: dict[str, Any] = {name: getattr(self, name)
+                             for name in self._RATE_FIELDS}
+        d["reorder_bound"] = self.reorder_bound
+        d["seed"] = self.seed
+        if self._edge_set is not None:
+            d["edges"] = sorted(
+                (sorted(e, key=repr) for e in self._edge_set),
+                key=lambda pair: [repr(v) for v in pair],
+            )
+        if self.crashes:
+            d["crashes"] = [
+                cw.to_dict() for cw in sorted(
+                    self.crashes, key=lambda c: (c.start, repr(c.node))
+                )
+            ]
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> FaultPlan:
+        """Inverse of :meth:`to_dict`; re-runs all plan validation.
+
+        Unknown keys raise (a corpus entry or replay header with a typo'd
+        field must fail loudly, not silently fuzz a weaker adversary).
+        """
+        unknown = set(d) - cls._DICT_KEYS
+        if unknown:
+            raise ValueError(f"unknown FaultPlan keys: {sorted(unknown)}")
+        kwargs: dict[str, Any] = {
+            name: d[name] for name in cls._DICT_KEYS
+            if name in d and name not in ("edges", "crashes")
+        }
+        if d.get("edges") is not None:
+            kwargs["edges"] = [tuple(e) for e in d["edges"]]
+        if d.get("crashes"):
+            kwargs["crashes"] = tuple(
+                CrashWindow.from_dict(cw) for cw in d["crashes"]
+            )
+        return cls(**kwargs)
+
+    def replace(self, **changes: Any) -> FaultPlan:
+        """A new validated plan with the given fields replaced.
+
+        The mutation hook the fuzzer builds on: rate nudges, crash-window
+        edits and edge-target swaps all go through here, so every mutant
+        re-runs ``__post_init__`` validation.
+        """
+        return dataclasses.replace(self, **changes)
 
     # ------------------------------------------------------------------ #
     # The Network-facing surface

@@ -44,7 +44,15 @@ DETECTABLE_FAILURES = frozenset({"stalled", "timeout", "aborted", "error"})
 
 @dataclass
 class ChaosOutcome:
-    """Result of one chaos run."""
+    """Result of one chaos run.
+
+    ``status`` is a single classification, but a run can exhibit *both* a
+    detectable event and a wrong answer — a node crashes mid-run, the
+    protocol still completes, and the answer it completes with is wrong.
+    ``crashed`` preserves that second axis: a crash-and-wrong run reports
+    ``detectable_failure`` *and* ``silent_failure`` together instead of
+    letting the answer check mask the (perfectly observable) crash.
+    """
 
     status: str
     result: RunResult | None
@@ -57,14 +65,34 @@ class ChaosOutcome:
     #: Picklable :class:`~repro.obs.profiler.TraceSummary` of the run when
     #: a recorder was attached (explicitly or via an ambient session).
     trace: Any = None
+    #: True when at least one node crashed during the run (whether or not
+    #: it recovered) — an observable event regardless of final status.
+    crashed: bool = False
+    #: Canonical, picklable signatures of shared-state violations observed
+    #: by the race detector (``race_detect="record"``/``True``); see
+    #: :func:`repro.analysis.violation_signatures`.
+    violations: tuple = ()
 
     @property
     def detectable_failure(self) -> bool:
-        return self.status in DETECTABLE_FAILURES
+        """The run failed in a way a caller holding this outcome can see.
+
+        Crash-while-wrong counts: the crash was observable even though the
+        status classification reports the wrong answer.
+        """
+        if self.status in DETECTABLE_FAILURES:
+            return True
+        return self.crashed and self.status != "ok"
 
     @property
     def silent_failure(self) -> bool:
-        """True only for the outcome the chaos contract forbids."""
+        """True for the outcome the chaos contract forbids: a wrong answer.
+
+        A crash-and-wrong run is *both* a silent failure (the answer is
+        wrong) and a detectable one (the crash was observable) — callers
+        enforcing the contract should key on this property, not on
+        ``not detectable_failure``.
+        """
         return self.status == "wrong"
 
 
@@ -85,6 +113,24 @@ def _trace_summary(net: Network, status: str):
     from ..obs.profiler import TraceSummary
 
     return TraceSummary.from_recorder(rec)
+
+
+def _observed(net: Network, extra_violation: Any = None) -> dict:
+    """Cross-status observations: crashes and race-detector violations.
+
+    ``extra_violation`` covers the ``"raise"``-mode path, where the
+    violation aborts the run before the detector records it.
+    """
+    from ..analysis import violation_signatures
+
+    violations = list(net.race_detector.violations) \
+        if net.race_detector is not None else []
+    if extra_violation is not None:
+        violations.append(extra_violation)
+    return {
+        "crashed": net.metrics.fault_counts.get("crash", 0) > 0,
+        "violations": violation_signatures(violations),
+    }
 
 
 def run_chaos(
@@ -139,18 +185,22 @@ def run_chaos(
         return ChaosOutcome(status="error", result=None,
                             error=f"{type(exc).__name__}: {exc}",
                             trace=_trace_summary(net, "error"),
+                            **_observed(net, extra_violation=exc),
                             **reliability_overhead(net.metrics))
     except RuntimeError as exc:  # max_events backstop: a detected hang
         return ChaosOutcome(status="timeout", result=None, error=str(exc),
                             trace=_trace_summary(net, "timeout"),
+                            **_observed(net),
                             **reliability_overhead(net.metrics))
     except Exception as exc:  # a process crashed on adversarial input
         return ChaosOutcome(status="error", result=None,
                             error=f"{type(exc).__name__}: {exc}",
                             trace=_trace_summary(net, "error"),
+                            **_observed(net),
                             **reliability_overhead(net.metrics))
 
     overhead = reliability_overhead(result.metrics)
+    overhead.update(_observed(net))
     if result.status == "max_time":
         return ChaosOutcome(status="timeout", result=result,
                             trace=_trace_summary(net, "timeout"), **overhead)

@@ -29,7 +29,13 @@ from .generators import (
     spoke_graph,
     star_graph,
 )
-from .io import dump_graph, dumps_graph, load_graph, loads_graph
+from .io import (
+    dump_graph,
+    dumps_graph,
+    graph_fingerprint,
+    load_graph,
+    loads_graph,
+)
 from .mst import kruskal_mst, minimum_spanning_tree, mst_weight, prim_mst, UnionFind
 from .params import NetworkParams, network_params, script_D, script_E, script_V
 from .paths import (
@@ -69,6 +75,7 @@ __all__ = [
     # io
     "dump_graph",
     "dumps_graph",
+    "graph_fingerprint",
     "load_graph",
     "loads_graph",
     # mst

@@ -13,12 +13,14 @@ back to ints (the common case for generated workloads).
 
 from __future__ import annotations
 
+import hashlib
 import io
 from pathlib import Path
 
 from .weighted_graph import Vertex, WeightedGraph
 
-__all__ = ["dump_graph", "dumps_graph", "load_graph", "loads_graph"]
+__all__ = ["dump_graph", "dumps_graph", "graph_fingerprint", "load_graph",
+           "loads_graph"]
 
 
 def _token(v: Vertex) -> str:
@@ -79,3 +81,14 @@ def loads_graph(text: str) -> WeightedGraph:
 def load_graph(path: str | Path) -> WeightedGraph:
     """Read a graph from ``path``."""
     return loads_graph(Path(path).read_text())
+
+
+def graph_fingerprint(graph: WeightedGraph) -> str:
+    """A short stable content hash of a graph (16 hex chars).
+
+    SHA-256 over the canonical text serialization, so it is independent of
+    insertion order, process, platform, and ``PYTHONHASHSEED``.  Replay
+    headers embed it to detect generator drift: a trace recorded against
+    one graph refuses to replay against a structurally different rebuild.
+    """
+    return hashlib.sha256(dumps_graph(graph).encode()).hexdigest()[:16]

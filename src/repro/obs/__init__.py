@@ -24,7 +24,10 @@ hot path costs one ``is None`` check per event (<2%, see
 """
 
 from .exporters import (
+    LoadedTrace,
     jsonable,
+    load_jsonl,
+    read_jsonl,
     render_timeline,
     to_chrome_trace,
     to_jsonl,
@@ -45,6 +48,9 @@ __all__ = [
     "to_jsonl",
     "write_jsonl",
     "validate_jsonl",
+    "LoadedTrace",
+    "load_jsonl",
+    "read_jsonl",
     "to_chrome_trace",
     "write_chrome_trace",
     "render_timeline",

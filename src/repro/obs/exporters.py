@@ -6,7 +6,10 @@ Three output forms, all dependency-free:
   line, a ``meta`` header first, keys sorted — byte-identical for
   identical runs, so determinism tests can compare raw bytes.
   :func:`validate_jsonl` checks a document against the schema without
-  needing an external JSON-schema package.
+  needing an external JSON-schema package, and :func:`load_jsonl` parses
+  a document back into a recorder-shaped :class:`LoadedTrace` whose
+  re-export is byte-identical to its input — the foundation of
+  ``repro.replay`` (trace-driven replay and differential debugging).
 * **Chrome trace_event** (:func:`to_chrome_trace` /
   :func:`write_chrome_trace`): loadable in ``chrome://tracing`` or
   `Perfetto <https://ui.perfetto.dev>`_.  Nodes become threads of a
@@ -27,6 +30,7 @@ from typing import Any
 
 __all__ = [
     "jsonable", "to_jsonl", "write_jsonl", "validate_jsonl",
+    "LoadedTrace", "load_jsonl", "read_jsonl",
     "to_chrome_trace", "write_chrome_trace", "render_timeline",
 ]
 
@@ -151,6 +155,97 @@ def validate_jsonl(text: str) -> list[str]:
             if key not in ev:
                 errors.append(f"line {i}: {kind} missing {key!r}")
     return errors
+
+
+# --------------------------------------------------------------------- #
+# JSONL loader (the replay side of the export)
+# --------------------------------------------------------------------- #
+
+# Keys of the meta header that mirror recorder *aggregates*; every other
+# header key round-trips into LoadedTrace.meta.
+_META_STRUCTURAL = frozenset({
+    "kind", "version", "counts", "cost_by_span", "count_by_span",
+    "time_by_span", "comm_cost", "emitted", "recorded", "dropped",
+    "truncated",
+})
+
+
+class LoadedTrace:
+    """A parsed JSONL trace, duck-compatible with a finished recorder.
+
+    Exposes the read-side surface of
+    :class:`~repro.obs.recorder.TraceRecorder` — ``events`` (real
+    :class:`~repro.obs.recorder.TraceEvent` objects), ``meta``, ``counts``,
+    the per-span aggregates, ``total_cost``, ``n_emitted``/``n_recorded``/
+    ``dropped``/``truncated`` — so every exporter in this module, plus
+    :meth:`TraceSummary.from_recorder`, accepts one unchanged.  The
+    round-trip contract (pinned by tests):
+    ``to_jsonl(load_jsonl(text)) == text`` for any document produced by
+    :func:`to_jsonl`, including aggregate-only (``limit=0``) and
+    ring-truncated traces.
+    """
+
+    enabled = True
+
+    def __init__(self, meta_line: dict, events: list) -> None:
+        self.version = meta_line.get("version")
+        self.counts = dict(meta_line.get("counts", {}))
+        self.cost_by_span = dict(meta_line.get("cost_by_span", {}))
+        self.count_by_span = dict(meta_line.get("count_by_span", {}))
+        self.time_by_span = dict(meta_line.get("time_by_span", {}))
+        self.total_cost = meta_line.get("comm_cost", 0.0)
+        self.n_emitted = meta_line.get("emitted", 0)
+        self.n_recorded = meta_line.get("recorded", len(events))
+        self.dropped = meta_line.get("dropped", 0)
+        self.truncated = meta_line.get("truncated", False)
+        self.meta = {k: v for k, v in meta_line.items()
+                     if k not in _META_STRUCTURAL}
+        self.events = events
+        #: The raw document this trace was parsed from (for byte-level
+        #: comparisons without a re-export).
+        self.source: str | None = None
+
+    def summary(self):
+        """This trace's picklable :class:`~repro.obs.profiler.TraceSummary`."""
+        from .profiler import TraceSummary
+
+        return TraceSummary.from_recorder(self)
+
+
+def load_jsonl(text: str) -> LoadedTrace:
+    """Parse a :func:`to_jsonl` document back into a :class:`LoadedTrace`.
+
+    The document is schema-checked first (:func:`validate_jsonl`); any
+    error raises ``ValueError`` — a trace that cannot round-trip must not
+    silently replay as a weaker regression test.
+    """
+    from .recorder import TraceEvent
+
+    errors = validate_jsonl(text)
+    if errors:
+        shown = "; ".join(errors[:5])
+        more = f" (+{len(errors) - 5} more)" if len(errors) > 5 else ""
+        raise ValueError(f"invalid JSONL trace: {shown}{more}")
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    meta_line = json.loads(lines[0])
+    events = []
+    for line in lines[1:]:
+        d = json.loads(line)
+        events.append(TraceEvent(
+            d["seq"], d["t"], d["kind"],
+            node=d.get("node"), peer=d.get("peer"), tag=d.get("tag"),
+            cost=d.get("cost"), size=d.get("size"), span=d.get("span"),
+            ref=d.get("ref"), detail=d.get("detail"),
+        ))
+    trace = LoadedTrace(meta_line, events)
+    trace.source = text
+    return trace
+
+
+def read_jsonl(path: str) -> LoadedTrace:
+    """:func:`load_jsonl` over a file's contents."""
+    with open(path) as fh:
+        return load_jsonl(fh.read())
 
 
 # --------------------------------------------------------------------- #

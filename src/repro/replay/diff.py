@@ -1,0 +1,159 @@
+"""Differential replay: localize *where* two traces part ways.
+
+``verify_trace`` tells you a replay diverged; this module tells you at
+which event, and with what context.  Two JSONL documents from the same
+run prefix are identical line-for-line up to the first divergent event
+(sequence numbers are totally ordered and export is deterministic), so a
+lockstep walk finds the exact boundary — no alignment heuristics needed.
+
+For send-linked kinds (``deliver``/``drop`` carry a ``ref`` back to the
+``send`` they answer), :func:`first_divergence` resolves each side's
+``ref`` to the originating send record, so the report reads "this deliver
+answers *that* send" instead of a bare integer.
+
+:func:`bisect_divergence` drives the same comparison as a search
+primitive: given an integer knob (a seed, a rate step, a version in a
+list) and a trace function, it finds the smallest knob value whose trace
+differs from the low end's — the "which change broke determinism"
+question asked as a binary search.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Divergence", "first_divergence", "bisect_divergence"]
+
+
+@dataclass
+class Divergence:
+    """The first point where two trace documents disagree.
+
+    ``index`` is the event position (0-based, counting event lines only);
+    ``-1`` means the *meta headers* differ — the runs disagreed before any
+    event, e.g. different final status or aggregate totals on truncated
+    traces.  ``left``/``right`` are the event dicts (``None`` when that
+    side's document ended first).  ``left_send``/``right_send`` are the
+    resolved originating send records when the divergent events carry a
+    ``ref``.
+    """
+
+    index: int
+    left: dict | None
+    right: dict | None
+    left_send: dict | None = None
+    right_send: dict | None = None
+    fields: tuple = field(default_factory=tuple)
+
+    def describe(self) -> str:
+        if self.index == -1:
+            keys = ", ".join(self.fields) if self.fields else "?"
+            return f"meta headers differ (keys: {keys})"
+        if self.left is None:
+            return (f"event #{self.index}: left trace ended, right "
+                    f"continues with {_brief(self.right)}")
+        if self.right is None:
+            return (f"event #{self.index}: right trace ended, left "
+                    f"continues with {_brief(self.left)}")
+        keys = ", ".join(self.fields) if self.fields else "?"
+        out = (f"event #{self.index} differs on [{keys}]: "
+               f"{_brief(self.left)}  vs  {_brief(self.right)}")
+        if self.left_send or self.right_send:
+            out += (f"  (answers send {_brief(self.left_send)}"
+                    f" vs {_brief(self.right_send)})")
+        return out
+
+
+def _brief(ev: dict | None) -> str:
+    if ev is None:
+        return "<none>"
+    parts = [f"{ev.get('kind', '?')}@t={ev.get('t', '?')}"]
+    for k in ("node", "peer", "tag", "span", "detail"):
+        if k in ev:
+            parts.append(f"{k}={ev[k]!r}")
+    return " ".join(parts)
+
+
+def _parse(text: str) -> tuple[dict, list[dict]]:
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        return {}, []
+    return json.loads(lines[0]), [json.loads(ln) for ln in lines[1:]]
+
+
+def _send_index(events: list[dict]) -> dict[int, dict]:
+    return {ev["seq"]: ev for ev in events if ev.get("kind") == "send"}
+
+
+def _differing_keys(a: dict, b: dict) -> tuple:
+    keys = sorted(set(a) | set(b))
+    return tuple(k for k in keys if a.get(k) != b.get(k))
+
+
+def first_divergence(left_text: str, right_text: str) -> Divergence | None:
+    """The first divergent event between two JSONL documents, or ``None``.
+
+    Compares parsed records rather than raw lines, so the report names the
+    differing *fields*; because export is key-sorted and deterministic,
+    record equality and line equality coincide.
+    """
+    left_meta, left_events = _parse(left_text)
+    right_meta, right_events = _parse(right_text)
+    for i in range(max(len(left_events), len(right_events))):
+        lo = left_events[i] if i < len(left_events) else None
+        hi = right_events[i] if i < len(right_events) else None
+        if lo == hi:
+            continue
+        lsends, rsends = _send_index(left_events), _send_index(right_events)
+        return Divergence(
+            index=i, left=lo, right=hi,
+            left_send=lsends.get(lo.get("ref")) if lo else None,
+            right_send=rsends.get(hi.get("ref")) if hi else None,
+            fields=_differing_keys(lo or {}, hi or {}),
+        )
+    if left_meta != right_meta:
+        # Events agree (or there are none) but the headers disagree —
+        # aggregate-only / ring-truncated traces diverge here.
+        return Divergence(index=-1, left=None, right=None,
+                          fields=_differing_keys(left_meta, right_meta))
+    return None
+
+
+def bisect_divergence(
+    lo: int,
+    hi: int,
+    trace_of: Callable[[int], str],
+    *,
+    baseline: str | None = None,
+) -> tuple[int, Divergence]:
+    """Find the smallest ``x`` in ``(lo, hi]`` whose trace differs from
+    ``lo``'s.
+
+    ``trace_of(x)`` must be deterministic (cache it if expensive).  The
+    usual single-boundary assumption of bisection applies: every ``x``
+    past the first divergent one must also diverge from the baseline —
+    true for "bad change at some step" questions (a seed list, a commit
+    range, a rate ramp), not for knobs that oscillate.
+
+    Returns ``(x, divergence_of_x_vs_baseline)``; raises ``ValueError``
+    when ``hi``'s trace equals the baseline (nothing to find).
+    """
+    if hi <= lo:
+        raise ValueError(f"empty bisection range ({lo}, {hi}]")
+    base = baseline if baseline is not None else trace_of(lo)
+    if first_divergence(base, trace_of(hi)) is None:
+        raise ValueError(
+            f"trace_of({hi}) matches the baseline; no divergence in range"
+        )
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if first_divergence(base, trace_of(mid)) is None:
+            lo = mid
+        else:
+            hi = mid
+    div = first_divergence(base, trace_of(hi))
+    assert div is not None  # hi diverged when we entered the loop
+    return hi, div

@@ -1,0 +1,110 @@
+"""ChaosOutcome classification: detectable vs silent, crash+wrong."""
+
+import pytest
+
+from repro.faults import (
+    DETECTABLE_FAILURES,
+    ChaosOutcome,
+    CrashWindow,
+    FaultPlan,
+    run_chaos,
+)
+from repro.graphs import random_connected_graph
+from repro.protocols.broadcast import FloodProcess
+
+
+# --------------------------------------------------------------------- #
+# Property unit tests (no simulation)
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("status", sorted(DETECTABLE_FAILURES))
+def test_detectable_statuses(status):
+    outcome = ChaosOutcome(status=status, result=None)
+    assert outcome.detectable_failure
+    assert not outcome.silent_failure
+
+
+def test_ok_is_neither():
+    outcome = ChaosOutcome(status="ok", result=None)
+    assert not outcome.detectable_failure
+    assert not outcome.silent_failure
+
+
+def test_wrong_without_crash_is_silent_only():
+    outcome = ChaosOutcome(status="wrong", result=None)
+    assert outcome.silent_failure
+    assert not outcome.detectable_failure
+
+
+def test_crash_and_wrong_reports_both():
+    # A node crashed (observable) and the answer is wrong (silent): the
+    # classification must not let one axis mask the other.
+    outcome = ChaosOutcome(status="wrong", result=None, crashed=True)
+    assert outcome.silent_failure
+    assert outcome.detectable_failure
+
+
+def test_crash_with_ok_status_is_not_a_failure():
+    # A crash the protocol rode out (recovered, finished, right answer)
+    # is not a failure of any kind.
+    outcome = ChaosOutcome(status="ok", result=None, crashed=True)
+    assert not outcome.detectable_failure
+    assert not outcome.silent_failure
+
+
+def test_crashed_detectable_for_every_non_ok_status():
+    for status in sorted(DETECTABLE_FAILURES | {"wrong"}):
+        assert ChaosOutcome(status=status, result=None,
+                            crashed=True).detectable_failure
+
+
+# --------------------------------------------------------------------- #
+# Integration: the runner populates the new fields
+# --------------------------------------------------------------------- #
+
+def _flood_setup():
+    g = random_connected_graph(8, 6, seed=3)
+    root = g.vertices[0]
+
+    def factory(v):
+        return FloodProcess(v == root, "payload")
+
+    def answer(result):
+        return sorted((repr(v), p.payload)
+                      for v, p in result.processes.items())
+
+    return g, factory, answer
+
+
+def test_runner_reports_crash_on_recovered_run():
+    g, factory, answer = _flood_setup()
+    plan = FaultPlan(crashes=(CrashWindow(g.vertices[-1], 1.0, 4.0),))
+    outcome = run_chaos(g, factory, plan=plan, answer=answer)
+    assert outcome.crashed
+    assert outcome.status == "ok"
+    assert not outcome.detectable_failure
+
+
+def test_runner_crash_and_wrong_sets_both_axes():
+    g, factory, answer = _flood_setup()
+    plan = FaultPlan(crashes=(CrashWindow(g.vertices[-1], 1.0, 4.0),))
+    outcome = run_chaos(g, factory, plan=plan, answer=answer,
+                        expect="something else entirely")
+    assert outcome.status == "wrong"
+    assert outcome.crashed
+    assert outcome.silent_failure and outcome.detectable_failure
+
+
+def test_runner_no_faults_reports_no_crash():
+    g, factory, answer = _flood_setup()
+    outcome = run_chaos(g, factory, answer=answer)
+    assert outcome.status == "ok"
+    assert not outcome.crashed
+    assert outcome.violations == ()
+
+
+def test_runner_violations_empty_with_recording_detector():
+    g, factory, answer = _flood_setup()
+    outcome = run_chaos(g, factory, answer=answer, race_detect="record")
+    assert outcome.status == "ok"
+    assert outcome.violations == ()

@@ -11,7 +11,7 @@ EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 # The fast subset (the heavier demos are exercised by the benchmarks'
 # shared experiment functions anyway).
 FAST = ["quickstart.py", "slt_walkthrough.py", "message_timeline.py",
-        "leader_and_termination.py", "trace_demo.py"]
+        "leader_and_termination.py", "trace_demo.py", "replay_demo.py"]
 
 
 @pytest.mark.parametrize("script", FAST)

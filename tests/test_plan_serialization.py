@@ -1,0 +1,154 @@
+"""FaultPlan / CrashWindow JSON round-trip and validation."""
+
+import json
+
+import pytest
+
+from repro.faults import CrashWindow, FaultPlan
+
+
+# --------------------------------------------------------------------- #
+# CrashWindow
+# --------------------------------------------------------------------- #
+
+def test_crash_window_round_trip():
+    cw = CrashWindow(3, 2.0, 9.0)
+    assert CrashWindow.from_dict(cw.to_dict()) == cw
+
+
+def test_crash_window_permanent_round_trip():
+    cw = CrashWindow("a", 1.0, None)
+    d = cw.to_dict()
+    assert d["end"] is None
+    assert CrashWindow.from_dict(d) == cw
+
+
+def test_crash_window_inf_end_normalizes_to_none():
+    assert CrashWindow(0, 1.0, float("inf")).to_dict()["end"] is None
+
+
+def test_crash_window_inverted_raises():
+    with pytest.raises(ValueError, match="inverted or empty"):
+        CrashWindow(0, 5.0, 3.0)
+
+
+def test_crash_window_empty_raises():
+    # start == end used to pass silently as a zero-length no-op window.
+    with pytest.raises(ValueError, match="inverted or empty"):
+        CrashWindow(0, 5.0, 5.0)
+
+
+def test_crash_window_negative_start_raises():
+    with pytest.raises(ValueError, match="before time 0"):
+        CrashWindow(0, -1.0, 2.0)
+
+
+def test_crash_window_triple_form_validated_by_plan():
+    # Plain (node, start, end) triples are normalized through CrashWindow,
+    # so they get the same validation.
+    with pytest.raises(ValueError, match="inverted or empty"):
+        FaultPlan(crashes=[(0, 5.0, 5.0)])
+
+
+def test_crash_window_unknown_key_raises():
+    with pytest.raises(ValueError, match="unknown CrashWindow keys"):
+        CrashWindow.from_dict({"node": 0, "start": 1.0, "stop": 2.0})
+
+
+def test_crash_window_missing_field_raises():
+    with pytest.raises(ValueError, match="needs node and start"):
+        CrashWindow.from_dict({"node": 0})
+
+
+# --------------------------------------------------------------------- #
+# FaultPlan
+# --------------------------------------------------------------------- #
+
+def test_plan_round_trip_preserves_everything():
+    plan = FaultPlan(
+        drop=0.1, duplicate=0.05, corrupt=0.2, reorder=0.15,
+        reorder_bound=2.5, seed=42,
+        edges=[(1, 0), (2, 3)],
+        crashes=(CrashWindow(2, 5.0, 9.0), CrashWindow(0, 1.0, None)),
+    )
+    d = plan.to_dict()
+    back = FaultPlan.from_dict(d)
+    assert back.to_dict() == d
+    assert back.drop == plan.drop
+    assert back.seed == plan.seed
+    assert back._edge_set == plan._edge_set
+    assert set(back.crashes) == set(plan.crashes)
+
+
+def test_plan_dict_always_lists_every_rate():
+    d = FaultPlan().to_dict()
+    for name in ("drop", "duplicate", "corrupt", "reorder"):
+        assert d[name] == 0.0
+    assert "edges" not in d  # no restriction -> key omitted
+    assert "crashes" not in d
+
+
+def test_plan_dict_is_canonical_under_input_order():
+    a = FaultPlan(drop=0.1, edges=[(2, 3), (0, 1)],
+                  crashes=[CrashWindow(1, 2.0, 4.0), CrashWindow(0, 1.0, 3.0)])
+    b = FaultPlan(drop=0.1, edges=[(1, 0), (3, 2)],
+                  crashes=[CrashWindow(0, 1.0, 3.0), CrashWindow(1, 2.0, 4.0)])
+    assert (json.dumps(a.to_dict(), sort_keys=True)
+            == json.dumps(b.to_dict(), sort_keys=True))
+
+
+def test_plan_json_round_trip_through_text():
+    plan = FaultPlan(drop=0.2, seed=7, crashes=(CrashWindow(4, 3.0, None),))
+    text = json.dumps(plan.to_dict(), sort_keys=True)
+    back = FaultPlan.from_dict(json.loads(text))
+    assert json.dumps(back.to_dict(), sort_keys=True) == text
+
+
+def test_plan_negative_rate_raises():
+    with pytest.raises(ValueError, match="outside"):
+        FaultPlan(drop=-0.2)
+
+
+def test_plan_from_dict_revalidates():
+    with pytest.raises(ValueError, match="outside"):
+        FaultPlan.from_dict({"drop": 1.5})
+    with pytest.raises(ValueError, match="inverted or empty"):
+        FaultPlan.from_dict(
+            {"crashes": [{"node": 0, "start": 9.0, "end": 2.0}]}
+        )
+
+
+def test_plan_unknown_key_raises():
+    with pytest.raises(ValueError, match="unknown FaultPlan keys"):
+        FaultPlan.from_dict({"drpo": 0.1})
+
+
+def test_scripted_plan_is_not_serializable():
+    plan = FaultPlan(script=lambda frm, to, i: None)
+    with pytest.raises(ValueError, match="scripted"):
+        plan.to_dict()
+
+
+def test_replace_revalidates():
+    plan = FaultPlan(drop=0.1)
+    assert plan.replace(drop=0.5).drop == 0.5
+    assert plan.drop == 0.1  # original untouched
+    with pytest.raises(ValueError, match="outside"):
+        plan.replace(drop=1.5)
+
+
+def test_replace_recomputes_edge_set():
+    plan = FaultPlan(drop=0.1, edges=[(0, 1)])
+    widened = plan.replace(edges=None)
+    assert widened._edge_set is None
+    narrowed = plan.replace(edges=[(2, 3)])
+    assert narrowed._edge_set == frozenset({frozenset({2, 3})})
+
+
+def test_empty_edge_restriction_round_trips():
+    # edges=[] means "no faultable edges" and must not collapse to None
+    # ("all edges") through serialization.
+    plan = FaultPlan(drop=0.3, edges=[])
+    d = plan.to_dict()
+    assert d["edges"] == []
+    assert FaultPlan.from_dict(d)._edge_set == frozenset()

@@ -1,0 +1,110 @@
+"""JSONL trace round-trip: export -> load -> export is byte-identical."""
+
+import pytest
+
+from repro.faults import CrashWindow, FaultPlan, run_chaos
+from repro.graphs import random_connected_graph
+from repro.obs import (
+    LoadedTrace,
+    TraceRecorder,
+    TraceSummary,
+    load_jsonl,
+    to_jsonl,
+    validate_jsonl,
+)
+from repro.protocols.broadcast import FloodProcess
+
+
+def _traced_run(limit=None, plan=None):
+    """A chaos run rich in event kinds: sends, delivers, drops, crashes,
+    recovers, timers (via reliable-transport retries), finish."""
+    g = random_connected_graph(8, 6, seed=3)
+    root = g.vertices[0]
+    if plan is None:
+        plan = FaultPlan(drop=0.25, seed=5,
+                         crashes=(CrashWindow(g.vertices[-1], 1.0, 4.0),))
+    recorder = TraceRecorder(limit=limit)
+    recorder.meta["scenario"] = "roundtrip-test"
+    outcome = run_chaos(g, lambda v: FloodProcess(v == root, "x"),
+                        plan=plan, recorder=recorder)
+    assert outcome.status == "ok"
+    return recorder
+
+
+def _assert_round_trip(recorder):
+    text = to_jsonl(recorder)
+    assert validate_jsonl(text) == []
+    trace = load_jsonl(text)
+    assert to_jsonl(trace) == text
+    return trace
+
+
+def test_full_trace_round_trip():
+    recorder = _traced_run()
+    trace = _assert_round_trip(recorder)
+    kinds = {ev.kind for ev in trace.events}
+    assert {"send", "deliver", "drop", "crash", "recover",
+            "timer", "finish"} <= kinds
+
+
+def test_loaded_trace_is_recorder_shaped():
+    recorder = _traced_run()
+    trace = load_jsonl(to_jsonl(recorder))
+    assert isinstance(trace, LoadedTrace)
+    assert trace.counts == recorder.counts
+    assert trace.total_cost == recorder.total_cost
+    assert trace.n_emitted == recorder.n_emitted
+    assert trace.n_recorded == recorder.n_recorded
+    assert trace.cost_by_span == recorder.cost_by_span
+    assert trace.meta["scenario"] == "roundtrip-test"
+    assert trace.meta["status"] == recorder.meta["status"]
+
+
+def test_loaded_trace_summary_matches_recorder():
+    recorder = _traced_run()
+    trace = load_jsonl(to_jsonl(recorder))
+    assert trace.summary() == TraceSummary.from_recorder(recorder)
+
+
+def test_aggregate_only_round_trip():
+    # limit=0 keeps no events at all; the aggregates still round-trip.
+    recorder = _traced_run(limit=0)
+    trace = _assert_round_trip(recorder)
+    assert trace.events == []
+    assert trace.n_recorded == 0
+    assert trace.n_emitted > 0
+    assert trace.total_cost == recorder.total_cost
+
+
+def test_ring_truncated_round_trip():
+    recorder = _traced_run(limit=16)
+    assert recorder.truncated
+    trace = _assert_round_trip(recorder)
+    assert trace.truncated
+    assert trace.dropped == recorder.dropped
+    assert len(trace.events) == 16
+
+
+def test_double_round_trip_is_fixed_point():
+    text = to_jsonl(_traced_run())
+    once = to_jsonl(load_jsonl(text))
+    twice = to_jsonl(load_jsonl(once))
+    assert text == once == twice
+
+
+def test_load_rejects_invalid_documents():
+    with pytest.raises(ValueError, match="invalid"):
+        load_jsonl("")
+    with pytest.raises(ValueError, match="invalid"):
+        load_jsonl('{"kind": "trace-meta"}\n{"seq": 0}\n')
+    good = to_jsonl(_traced_run())
+    # Tamper: swap two event lines so seq ordering breaks.
+    lines = good.splitlines()
+    lines[1], lines[2] = lines[2], lines[1]
+    with pytest.raises(ValueError, match="invalid"):
+        load_jsonl("\n".join(lines) + "\n")
+
+
+def test_source_preserves_original_document():
+    text = to_jsonl(_traced_run())
+    assert load_jsonl(text).source == text
