@@ -75,6 +75,7 @@ from repro.experiments.parallel import (  # noqa: E402
     shutdown_pool,
 )
 from repro.graphs import (  # noqa: E402
+    complete_graph,
     dijkstra,
     grid_graph,
     random_connected_graph,
@@ -438,6 +439,87 @@ def bench_graph_kernels(reps: int, quick: bool) -> dict:
     return {"shapes": shapes, "aggregate": {"geomean_speedup": geomean}}
 
 
+def _np_kernel_graphs(quick: bool) -> dict:
+    """Shapes for the numpy-vs-python kernel comparison.
+
+    Dense, exact-integer graphs: the regime the vectorized backend
+    targets (its all-pairs scan runs a cache-resident int32
+    Floyd-Warshall there, where work per source is O(n^2) for *both*
+    backends but numpy streams it at SIMD speed).  Sparse
+    high-hop-diameter shapes — grids, bounded-degree expanders — favor
+    ``REPRO_KERNEL_BACKEND=python`` and are deliberately not benched
+    here; docs/PERF.md records that boundary.
+    """
+    if quick:
+        return {
+            "complete": complete_graph(64),
+            "random_dense": random_connected_graph(96, 3000, seed=17),
+            "random_mid": random_connected_graph(128, 3200, seed=13),
+        }
+    return {
+        "complete": complete_graph(384),
+        "random_dense": random_connected_graph(512, 32000, seed=17),
+        "random_mid": random_connected_graph(768, 32000, seed=13),
+    }
+
+
+def bench_npkernels(reps: int, quick: bool) -> dict:
+    """NumPy backend vs the pure-Python CSR kernels (build + scan + MSTs).
+
+    Every rep runs the full parameter workload — snapshot build,
+    all-sources scan, Prim, Kruskal — on both backends and asserts the
+    results are value-identical before timing is trusted.  Skipped (with
+    a marker, so the report key is always present) when numpy is absent.
+    """
+    from repro.graphs.npkernels import (
+        NPGraph,
+        np_all_sources_scan,
+        np_kruskal_mst,
+        np_prim_mst,
+        numpy_available,
+    )
+
+    if not numpy_available():
+        return {"skipped": "numpy not installed"}
+    shapes = {}
+    for name, graph in _np_kernel_graphs(quick).items():
+        best_py = best_np = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            csr = CSRGraph(graph)  # build is part of the kernel cost
+            scan = all_sources_scan(csr)
+            prim = csr_prim_mst(csr)
+            kruskal = csr_kruskal_mst(csr)
+            best_py = min(best_py, time.perf_counter() - t0)
+
+            t0 = time.perf_counter()
+            npg = NPGraph(CSRGraph(graph))
+            np_scan = np_all_sources_scan(npg)
+            np_prim = np_prim_mst(npg)
+            np_kruskal = np_kruskal_mst(npg)
+            best_np = min(best_np, time.perf_counter() - t0)
+
+        assert np_scan == scan, (name, "scan differs")
+        assert list(np_prim.edges()) == list(prim.edges()), \
+            (name, "prim MST differs")
+        assert list(np_kruskal.edges()) == list(kruskal.edges()), \
+            (name, "kruskal differs")
+
+        shapes[name] = {
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "python_s": best_py,
+            "numpy_s": best_np,
+            "speedup": best_py / best_np,
+        }
+    speedups = [s["speedup"] for s in shapes.values()]
+    geomean = 1.0
+    for s in speedups:
+        geomean *= s
+    geomean **= 1.0 / len(speedups)
+    return {"shapes": shapes, "aggregate": {"geomean_speedup": geomean}}
+
+
 # --------------------------------------------------------------------- #
 # Network + sweep benches
 # --------------------------------------------------------------------- #
@@ -605,6 +687,11 @@ def comparable_metrics(report: dict) -> dict:
         m[f"graph_kernels/{name}/speedup"] = s["speedup"]
     if "aggregate" in gk:
         m["graph_kernels/geomean_speedup"] = gk["aggregate"]["geomean_speedup"]
+    nk = report.get("npkernels", {})
+    for name, s in nk.get("shapes", {}).items():
+        m[f"npkernels/{name}/speedup"] = s["speedup"]
+    if "aggregate" in nk:
+        m["npkernels/geomean_speedup"] = nk["aggregate"]["geomean_speedup"]
     net = report.get("network", {})
     if "messages_per_s" in net:
         m["network/messages_per_s"] = net["messages_per_s"]
@@ -702,6 +789,7 @@ def main(argv: list[str] | None = None) -> int:
         "reps": reps,
         "event_queue": bench_event_queue(reps, args.quick),
         "graph_kernels": bench_graph_kernels(reps, args.quick),
+        "npkernels": bench_npkernels(reps, args.quick),
         "network": bench_network(reps, args.quick),
         "chaos_sweep": bench_chaos_sweep(args.jobs, args.quick),
         "tracing": bench_tracing(reps, args.quick),
@@ -725,6 +813,16 @@ def main(argv: list[str] | None = None) -> int:
               f"dict {s['dict_s'] * 1e3:>8.2f}ms  csr {s['csr_s'] * 1e3:>8.2f}ms  "
               f"x{s['speedup']:.2f}")
     print(f"kernel geomean x{gk['aggregate']['geomean_speedup']:.2f}")
+    nk = report["npkernels"]
+    if "skipped" in nk:
+        print(f"npkernels: skipped ({nk['skipped']})")
+    else:
+        for name, s in nk["shapes"].items():
+            print(f"npkern {name:14s} n={s['n']:<4d} m={s['m']:<5d} "
+                  f"python {s['python_s'] * 1e3:>8.2f}ms  "
+                  f"numpy {s['numpy_s'] * 1e3:>8.2f}ms  "
+                  f"x{s['speedup']:.2f}")
+        print(f"npkern geomean x{nk['aggregate']['geomean_speedup']:.2f}")
     net = report["network"]
     print(f"network flood: {net['messages']} msgs, "
           f"{net['messages_per_s']:,.0f} msgs/s")

@@ -94,7 +94,8 @@ _CHUNK_WAVES = 4
 # cells; below that, fork + pickle overhead beats the parallel win.
 _MIN_CELLS_PER_WORKER = 2
 
-# The one live pool, keyed by the (jobs, warm) shape that built it.
+# The one live pool, keyed by the (jobs, warm, kernel backend) shape
+# that built it.
 _pool: ProcessPoolExecutor | None = None
 _pool_key: tuple | None = None
 _atexit_registered = False
@@ -126,7 +127,7 @@ def parallel_plan(
     return ("pool", max(1, n_cells // (jobs * _CHUNK_WAVES)))
 
 
-def _worker_init(warm: tuple = ()) -> None:
+def _worker_init(warm: tuple = (), kernel_backend: str | None = None) -> None:
     """Per-worker initializer: pre-build shared state for each warm spec.
 
     Runs once in every pool process before it receives cells.  Each spec
@@ -135,7 +136,18 @@ def _worker_init(warm: tuple = ()) -> None:
     and :func:`_reference` here moves graph construction, SLT building,
     and the fault-free reference runs out of the first cell each worker
     executes (they are by far the dominant per-cell setup cost).
+
+    ``kernel_backend`` pins the graph-kernel backend the parent resolved
+    (see :func:`repro.graphs.npkernels.kernel_backend`) so every worker
+    computes graph parameters through the same kernels as a serial run —
+    one leg of the serial == pool byte-identity contract.  (The kernels
+    are value-identical anyway; pinning makes the guarantee structural
+    rather than incidental.)
     """
+    if kernel_backend is not None:
+        from ..graphs.npkernels import set_kernel_backend
+
+        set_kernel_backend(kernel_backend)
     for n, extra_edges, graph_seed, protocols in warm:
         cases = _cases_by_name(n, extra_edges, graph_seed)
         names = protocols if protocols is not None else tuple(cases)
@@ -158,14 +170,19 @@ def shutdown_pool() -> None:
 
 
 def _get_pool(jobs: int, warm: tuple) -> ProcessPoolExecutor:
-    """The persistent pool for ``(jobs, warm)``, (re)creating on shape change."""
+    """The persistent pool for ``(jobs, warm, backend)``, rebuilt on change."""
     global _pool, _pool_key, _atexit_registered
-    key = (jobs, warm)
+    from ..graphs.npkernels import kernel_backend
+
+    backend = kernel_backend()
+    key = (jobs, warm, backend)
     if _pool is not None and _pool_key != key:
         shutdown_pool()
     if _pool is None:
         _pool = ProcessPoolExecutor(
-            max_workers=jobs, initializer=_worker_init, initargs=(warm,)
+            max_workers=jobs,
+            initializer=_worker_init,
+            initargs=(warm, backend),
         )
         _pool_key = key
         if not _atexit_registered:

@@ -37,6 +37,20 @@ from .io import (
     loads_graph,
 )
 from .mst import kruskal_mst, minimum_spanning_tree, mst_weight, prim_mst, UnionFind
+from .npkernels import (
+    KERNEL_BACKEND_ENV,
+    NPGraph,
+    backend_info,
+    kernel_backend,
+    np_all_sources_scan,
+    np_delay_propagation,
+    np_graph_of,
+    np_kruskal_mst,
+    np_prim_mst,
+    np_sssp_dist,
+    numpy_available,
+    set_kernel_backend,
+)
 from .params import NetworkParams, network_params, script_D, script_E, script_V
 from .paths import (
     diameter,
@@ -112,4 +126,17 @@ __all__ = [
     "all_sources_scan",
     "csr_prim_mst",
     "csr_kruskal_mst",
+    # numpy kernel backend (optional; value-identical to the CSR kernels)
+    "KERNEL_BACKEND_ENV",
+    "kernel_backend",
+    "set_kernel_backend",
+    "numpy_available",
+    "backend_info",
+    "NPGraph",
+    "np_graph_of",
+    "np_all_sources_scan",
+    "np_sssp_dist",
+    "np_delay_propagation",
+    "np_prim_mst",
+    "np_kruskal_mst",
 ]

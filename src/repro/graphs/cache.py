@@ -20,6 +20,16 @@ so every answer — including dict insertion order, MST edge order, and
 float rounding — is byte-identical to what the dict algorithms return
 (``tests/test_csr_kernels.py`` pins this).
 
+Since PR 7 the whole-graph kernels (the batched scan and Prim) dispatch
+on :func:`~repro.graphs.npkernels.kernel_backend`: under the ``numpy``
+backend they run the vectorized kernels against a memoized
+:class:`~repro.graphs.npkernels.NPGraph` mirror of the CSR snapshot,
+which is value-identical by the same contract
+(``tests/test_npkernels_differential.py`` pins it) and wiped by the same
+version check.  Per-source :func:`~repro.graphs.csr.sssp_maps` stays on
+the Python kernel under every backend — its parent/discovery-order dict
+views are inherently sequential.
+
 Invalidation contract (see docs/PERF.md):
 
 * every mutating ``WeightedGraph`` operation (``add_vertex``,
@@ -46,6 +56,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from .csr import CSRGraph, GraphScan, all_sources_scan, csr_prim_mst, sssp_maps
+from .npkernels import (
+    NPGraph,
+    kernel_backend,
+    np_all_sources_scan,
+    np_prim_mst,
+)
 from .weighted_graph import Vertex, WeightedGraph
 
 if TYPE_CHECKING:  # runtime import is deferred: params imports this module
@@ -58,9 +74,9 @@ class GraphParamCache:
     """Version-checked memo of one graph's weighted parameters."""
 
     __slots__ = (
-        "graph", "_version", "_csrg", "_sssp", "_scan", "_ecc", "_mst",
-        "_mst_weight", "_params", "_connected",
-        "hits", "misses", "invalidations", "csr_builds",
+        "graph", "_version", "_csrg", "_npg", "_sssp", "_scan", "_ecc",
+        "_mst", "_mst_weight", "_params", "_connected",
+        "hits", "misses", "invalidations", "csr_builds", "np_builds",
     )
 
     def __init__(self, graph: WeightedGraph) -> None:
@@ -69,6 +85,7 @@ class GraphParamCache:
         self.misses = 0
         self.invalidations = 0
         self.csr_builds = 0
+        self.np_builds = 0
         self._wipe()
         self._version = graph.version
 
@@ -78,6 +95,7 @@ class GraphParamCache:
 
     def _wipe(self) -> None:
         self._csrg: CSRGraph | None = None
+        self._npg: NPGraph | None = None
         self._sssp: dict[Vertex, tuple[dict, dict]] = {}
         # GraphScan: ecc row + diameter + max nbr dist.
         self._scan: GraphScan | None = None
@@ -109,6 +127,21 @@ class GraphParamCache:
             self.csr_builds += 1
         return self._csrg
 
+    def npg(self) -> NPGraph:
+        """The NumPy mirror of the CSR snapshot at the current version.
+
+        Built lazily (only when the numpy backend actually runs a
+        kernel) and wiped together with the CSR snapshot on mutation, so
+        the two views can never disagree about graph contents.  Raises
+        ``RuntimeError`` when numpy is unavailable — callers dispatch on
+        :func:`~repro.graphs.npkernels.kernel_backend` first.
+        """
+        self._sync()
+        if self._npg is None:
+            self._npg = NPGraph(self.csr())
+            self.np_builds += 1
+        return self._npg
+
     # ------------------------------------------------------------------ #
     # Shortest-path structure
     # ------------------------------------------------------------------ #
@@ -132,7 +165,10 @@ class GraphParamCache:
     def _full_scan(self) -> GraphScan:
         if self._scan is None:
             self.misses += 1
-            self._scan = all_sources_scan(self.csr())
+            if kernel_backend() == "numpy":
+                self._scan = np_all_sources_scan(self.npg())
+            else:
+                self._scan = all_sources_scan(self.csr())
         return self._scan
 
     def eccentricities(self) -> dict[Vertex, float]:
@@ -173,7 +209,10 @@ class GraphParamCache:
             self.hits += 1
             return self._mst
         self.misses += 1
-        self._mst = csr_prim_mst(self.csr())
+        if kernel_backend() == "numpy":
+            self._mst = np_prim_mst(self.npg())
+        else:
+            self._mst = csr_prim_mst(self.csr())
         return self._mst
 
     def mst_weight(self) -> float:
@@ -226,6 +265,7 @@ class GraphParamCache:
             "misses": self.misses,
             "invalidations": self.invalidations,
             "csr_builds": self.csr_builds,
+            "np_builds": self.np_builds,
             "sssp_sources": len(self._sssp),
         }
 

@@ -60,6 +60,14 @@ __all__ = [
 
 _INF = float("inf")
 
+# Largest Dial bucket array the all-sources scan will allocate.  The
+# bucket count is (n-1)*wmax + 1, so heavy-weight integral families —
+# the paper's lower-bound graphs G_n carry bypass edges of weight X^4
+# with X = n + 1 — would otherwise demand billions of list allocations
+# (an OOM, not a slowdown).  Past the cap the scan uses the heap
+# discipline, which is value-identical in every weight regime.
+_DIAL_BOUND_CAP = 1 << 22
+
 
 class CSRGraph:
     """An immutable CSR snapshot of a :class:`WeightedGraph`.
@@ -90,8 +98,9 @@ class CSRGraph:
         ``W = poly(n)`` regime and all of this repo's generators),
         ``iadj`` mirrors ``adj`` with ``int`` weights and ``wmax`` is the
         largest; :func:`all_sources_scan` then runs a Dial bucket queue
-        instead of a binary heap.  ``iadj`` is ``None`` for fractional or
-        negative weights.
+        instead of a binary heap (as long as the bucket count stays
+        under :data:`_DIAL_BOUND_CAP`).  ``iadj`` is ``None`` for
+        fractional or negative weights.
     edge_src / edge_dst / edge_weight:
         The undirected edge list as index triples, in ``graph.edges()``
         order (each edge exactly once) — Kruskal's input.
@@ -283,21 +292,23 @@ def all_sources_scan(csr: CSRGraph) -> GraphScan:
     bookkeeping the map-building kernel must keep.  Two queue
     disciplines, same results bit-for-bit:
 
-    * integral weights (``csr.iadj`` is set): a Dial bucket queue —
-      O(1) appends per relaxation, buckets consumed in distance order up
-      to the source's eccentricity, the whole bucket array allocated
-      once and recycled across sources (integer distance sums are exact
-      in float, so converting at the end loses nothing);
-    * fractional weights: binary heap of bare ``(d, v)`` pairs.
+    * integral weights (``csr.iadj`` is set) with a bucket count
+      ``(n-1)*wmax + 1`` at most :data:`_DIAL_BOUND_CAP`: a Dial bucket
+      queue — O(1) appends per relaxation, buckets consumed in distance
+      order up to the source's eccentricity, the whole bucket array
+      allocated once and recycled across sources (integer distance sums
+      are exact in float, so converting at the end loses nothing);
+    * fractional weights, or integral weights too heavy to bucket: a
+      binary heap of bare ``(d, v)`` pairs.
     """
     n = csr.n
     ecc: list[float] = [0.0] * n
     diam = 0.0
     max_nbr = 0.0
-    if csr.iadj is not None:
+    # Distances are < n * wmax; one spare slot for the +w overshoot.
+    bound = max(1, (n - 1) * csr.wmax + 1) if n else 1
+    if csr.iadj is not None and bound <= _DIAL_BOUND_CAP:
         iadj = csr.iadj
-        # Distances are < n * wmax; one spare slot for the +w overshoot.
-        bound = max(1, (n - 1) * csr.wmax + 1)
         buckets: list[list[int]] = [[] for _ in range(bound)]
         idist = [bound] * n  # bound acts as the integer infinity
         imax_nbr = 0

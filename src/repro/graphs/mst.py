@@ -8,10 +8,13 @@ protocols of Section 8.
 The public entry points (:func:`prim_mst`, :func:`kruskal_mst`,
 :func:`minimum_spanning_tree`) route through the flat-array kernels in
 :mod:`repro.graphs.csr` (CSR snapshot memoized per graph version via
-:mod:`repro.graphs.cache`); their output is byte-identical to the
-original dict-of-dicts algorithms, which are kept here as
-:func:`prim_mst_dicts` / :func:`kruskal_mst_dicts` — the independent
-reference implementations the golden tests compare the kernels against.
+:mod:`repro.graphs.cache`), or — when
+:func:`repro.graphs.npkernels.kernel_backend` resolves to ``numpy`` —
+through the vectorized kernels in :mod:`repro.graphs.npkernels`; the
+output is byte-identical either way, including under the original
+dict-of-dicts algorithms kept here as :func:`prim_mst_dicts` /
+:func:`kruskal_mst_dicts` — the independent reference implementations
+the golden and differential tests compare every kernel against.
 """
 
 from __future__ import annotations
@@ -73,12 +76,18 @@ def prim_mst(graph: WeightedGraph, root: Vertex | None = None) -> WeightedGraph:
     and byte-identical to :func:`prim_mst_dicts`.  Raises ``ValueError``
     on a disconnected graph.
     """
-    from .csr import csr_of, csr_prim_mst
+    from .cache import param_cache
+    from .csr import csr_prim_mst
+    from .npkernels import kernel_backend, np_prim_mst
 
     if graph.num_vertices == 0:
         return WeightedGraph()
-    csr = csr_of(graph)
-    return csr_prim_mst(csr, csr.index[root] if root is not None else 0)
+    cache = param_cache(graph)
+    csr = cache.csr()
+    r = csr.index[root] if root is not None else 0
+    if kernel_backend() == "numpy":
+        return np_prim_mst(cache.npg(), r)
+    return csr_prim_mst(csr, r)
 
 
 def kruskal_mst(graph: WeightedGraph) -> WeightedGraph:
@@ -87,9 +96,14 @@ def kruskal_mst(graph: WeightedGraph) -> WeightedGraph:
     Runs on the frozen edge arrays of the CSR snapshot with an
     int-indexed union-find; byte-identical to :func:`kruskal_mst_dicts`.
     """
-    from .csr import csr_kruskal_mst, csr_of
+    from .cache import param_cache
+    from .csr import csr_kruskal_mst
+    from .npkernels import kernel_backend, np_kruskal_mst
 
-    return csr_kruskal_mst(csr_of(graph))
+    cache = param_cache(graph)
+    if kernel_backend() == "numpy":
+        return np_kruskal_mst(cache.npg())
+    return csr_kruskal_mst(cache.csr())
 
 
 def prim_mst_dicts(

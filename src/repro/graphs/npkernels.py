@@ -1,0 +1,641 @@
+"""NumPy-vectorized CSR kernel backend (optional; pure Python remains golden).
+
+The flat-array kernels in :mod:`repro.graphs.csr` replaced dict-of-dicts
+traversal with list-indexed loops, but every relaxation is still a Python
+bytecode dispatch.  At the graph scales the related-work models demand
+(message-optimal MST, the latency+capacity model — n in the 10^5..10^6
+range) that per-element interpretation dominates sweep wall time.  This
+module ports the hot kernels to true array programs in the style of the
+per-edge delay-matrix idiom (SNIPPETS.md Snippet 2): whole frontiers and
+edge sets move per NumPy call, no per-element Python.
+
+Backend contract
+----------------
+NumPy is an *optional extra*, never a hard dependency.  Which backend the
+public API (``GraphParamCache``, ``prim_mst``, ``kruskal_mst``, the
+``params`` functions) uses is decided by :func:`kernel_backend`:
+
+* ``REPRO_KERNEL_BACKEND=python`` — always the pure-Python CSR kernels;
+* ``REPRO_KERNEL_BACKEND=numpy`` — the kernels below, falling back to
+  ``python`` gracefully when numpy is not importable (no ImportError ever
+  escapes);
+* unset / ``auto`` — numpy when available, python otherwise.
+
+:func:`set_kernel_backend` installs a process-local override (used by the
+pool worker initializer so every worker resolves the same backend the
+parent did, keeping serial == pool byte-identity trivially true).
+
+Identity contract
+-----------------
+Every kernel here returns *value-identical* results to its pure-Python
+oracle — same floats bit-for-bit, same MST edge sets chosen under the
+same tie-break rule, same exception on disconnected input — pinned by
+``tests/test_npkernels_differential.py``.  The arguments:
+
+* **Distances.**  Both Dijkstra (heap or Dial) and the batched
+  fixpoint relaxation below compute, for every vertex ``v``, the minimum
+  over all paths of the *left-to-right IEEE-754 sum* of the path's
+  weights: relaxations only ever lower a distance to ``fl(d[u] + w)``,
+  float addition of a non-negative weight is monotone, and any maximal
+  sequence of relaxations reaches the same least fixpoint.  Integral
+  weights additionally use exact ``int64`` sums whenever every possible
+  distance stays below 2**53, where int and float arithmetic agree
+  exactly (the same regime the Dial bucket queue relies on).
+* **Dense all-pairs.**  In the exact-integer regime the batched scan
+  upgrades to an in-place ``int32`` Floyd–Warshall over the full n x n
+  matrix when the graph is dense enough (:func:`_fw_applicable`).
+  Min-plus closure over *exact integer* arithmetic yields the true
+  shortest-path distances regardless of summation order, and those
+  integers convert to float64 exactly below 2**53 — so the result is
+  value-identical to Dial/Dijkstra.  Floyd–Warshall is *never* used for
+  float weights: it associates path sums differently than the oracle's
+  left-to-right order, which only exact arithmetic makes harmless.
+* **MST tie-breaking.**  ``csr_prim_mst`` pops ``(w, tie)`` keys where
+  ``tie`` counts heap pushes: root adjacency first, then each newly
+  added vertex's adjacency in CSR order.  Among live frontier edges that
+  ordering is exactly lexicographic ``(weight, add-step of the tree
+  endpoint, CSR position)``, which :func:`np_prim_mst` encodes as an
+  integer rank and minimizes with a masked argmin.  ``csr_kruskal_mst``
+  stable-sorts by weight, preserving ``graph.edges()`` order among equal
+  weights — exactly what a stable ``argsort`` over the frozen edge
+  arrays yields.
+
+Tree-building (``WeightedGraph.add_edge``) inserts the *original* weight
+objects out of the CSR snapshot, never ``numpy.float64`` conversions, so
+``total_weight()`` sums are bit-equal to the oracle's, including int
+versus float reprs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from .csr import CSRGraph, GraphScan
+from .weighted_graph import WeightedGraph
+
+__all__ = [
+    "KERNEL_BACKEND_ENV",
+    "numpy_available",
+    "requested_backend",
+    "kernel_backend",
+    "set_kernel_backend",
+    "backend_info",
+    "NPGraph",
+    "np_graph_of",
+    "np_all_sources_scan",
+    "np_sssp_dist",
+    "np_delay_propagation",
+    "np_prim_mst",
+    "np_kruskal_mst",
+]
+
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+_BACKENDS = ("auto", "numpy", "python")
+
+# Integer distance sums are exact in float64 strictly below 2**53; above
+# it the int64 path would diverge from the float oracle, so it is gated.
+_EXACT_INT_BOUND = 2**53
+
+_np_module: Any = None
+_np_checked = False
+_forced: str | None = None
+
+
+def _numpy() -> Any:
+    """The numpy module, or ``None`` when not importable (checked once)."""
+    global _np_module, _np_checked
+    if not _np_checked:
+        try:
+            import numpy
+        except ImportError:
+            _np_module = None
+        else:
+            _np_module = numpy
+        _np_checked = True
+    return _np_module
+
+
+def numpy_available() -> bool:
+    """True when numpy can be imported in this process."""
+    return _numpy() is not None
+
+
+def requested_backend() -> str:
+    """The backend the environment (or an override) asks for, unresolved.
+
+    One of ``auto`` / ``numpy`` / ``python``.  Raises ``ValueError`` on an
+    unrecognized ``REPRO_KERNEL_BACKEND`` value — a typo should fail
+    loudly, only a genuinely missing numpy falls back silently.
+    """
+    if _forced is not None:
+        return _forced
+    raw = os.environ.get(KERNEL_BACKEND_ENV, "auto").strip().lower() or "auto"
+    if raw not in _BACKENDS:
+        raise ValueError(
+            f"{KERNEL_BACKEND_ENV}={raw!r} is not a valid kernel backend; "
+            f"expected one of {_BACKENDS}"
+        )
+    return raw
+
+
+def kernel_backend() -> str:
+    """The *resolved* backend: ``"numpy"`` or ``"python"``.
+
+    ``auto`` and ``numpy`` both resolve to ``python`` when numpy is
+    absent (graceful fallback — the pure-Python kernels are complete), so
+    callers can branch on this without ever touching an ImportError.
+    """
+    requested = requested_backend()
+    if requested == "python":
+        return "python"
+    return "numpy" if numpy_available() else "python"
+
+
+def set_kernel_backend(name: str | None) -> None:
+    """Install a process-local backend override (``None`` clears it).
+
+    Overrides take precedence over ``REPRO_KERNEL_BACKEND``.  The sweep
+    engine's worker initializer calls this with the parent's resolved
+    backend so a pool never mixes backends within one sweep.
+    """
+    global _forced
+    if name is not None and name not in _BACKENDS:
+        raise ValueError(
+            f"invalid kernel backend {name!r}; expected one of {_BACKENDS}"
+        )
+    _forced = name
+
+
+def backend_info() -> dict[str, Any]:
+    """Diagnostics: requested vs resolved backend and the numpy version."""
+    np = _numpy()
+    return {
+        "requested": requested_backend(),
+        "resolved": kernel_backend(),
+        "numpy": None if np is None else str(np.__version__),
+    }
+
+
+def _require_numpy() -> Any:
+    np = _numpy()
+    if np is None:
+        raise RuntimeError(
+            "numpy is not available; use the pure-Python kernels "
+            "(repro.graphs.csr) or install the 'numpy' extra"
+        )
+    return np
+
+
+# --------------------------------------------------------------------- #
+# Array snapshot
+# --------------------------------------------------------------------- #
+
+
+class NPGraph:
+    """NumPy mirror of a :class:`~repro.graphs.csr.CSRGraph` snapshot.
+
+    Holds the CSR arrays as ``ndarray``s plus the derived structures the
+    vectorized kernels need: per-position source vertex (``edge_u``),
+    the reverse-edge permutation (``rev``, lazily built), and the exact
+    ``int64`` weight view for the integral-weight fast path.  Keeps a
+    reference to the originating ``CSRGraph`` so tree-building kernels
+    can insert the *original* weight objects (bit-identical sums).
+
+    Snapshots are immutable and version-stamped like the CSR they mirror;
+    :meth:`repro.graphs.cache.GraphParamCache.npg` memoizes one per graph
+    version and drops it on mutation.
+    """
+
+    __slots__ = (
+        "csr", "n", "m2", "indptr", "indices", "indices_pad", "weights",
+        "iweights", "edge_u", "deg", "use_int", "int_bound",
+        "edge_weight_f", "version", "_rev",
+    )
+
+    def __init__(self, csr: CSRGraph) -> None:
+        np = _require_numpy()
+        self.csr = csr
+        n = csr.n
+        self.n = n
+        self.indptr = np.asarray(csr.indptr, dtype=np.int64)
+        self.indices = np.asarray(csr.indices, dtype=np.int64)
+        self.weights = np.asarray(csr.weights, dtype=np.float64)
+        self.m2 = int(self.indices.shape[0])
+        # One dummy trailing position: `indptr` starts may equal 2m for
+        # trailing degree-0 vertices, and reduceat needs every segment
+        # start to index into the candidate row — the relaxation kernels
+        # pad their per-edge value arrays with a sentinel to match.
+        self.indices_pad = np.append(self.indices, 0)
+        self.deg = np.diff(self.indptr)
+        self.edge_u = np.repeat(np.arange(n, dtype=np.int64), self.deg)
+        bound = max(1, (n - 1) * csr.wmax + 1) if n else 1
+        self.use_int = csr.iadj is not None and bound < _EXACT_INT_BOUND
+        self.int_bound = int(bound) if self.use_int else 0
+        self.iweights = (
+            self.weights.astype(np.int64) if self.use_int else None
+        )
+        self.edge_weight_f = np.asarray(csr.edge_weight, dtype=np.float64)
+        self.version = csr.version
+        self._rev: Any = None
+
+    @property
+    def rev(self) -> Any:
+        """Permutation mapping each directed CSR position to its reverse.
+
+        ``rev[j]`` is the CSR position of edge ``(v, u)`` when position
+        ``j`` holds ``(u, v)``.  Built on first use (only the asymmetric
+        delay-propagation kernel needs it): the directed key ``u*n + v``
+        is unique per position, and sorting both orientations aligns each
+        edge with its reverse.
+        """
+        if self._rev is None:
+            np = _require_numpy()
+            key_fwd = self.edge_u * self.n + self.indices
+            key_bwd = self.indices * self.n + self.edge_u
+            fwd_order = np.argsort(key_fwd, kind="stable")
+            bwd_order = np.argsort(key_bwd, kind="stable")
+            rev = np.empty(self.m2, dtype=np.int64)
+            rev[bwd_order] = fwd_order
+            self._rev = rev
+        return self._rev
+
+    def __repr__(self) -> str:
+        return (
+            f"NPGraph(n={self.n}, m={self.m2 // 2}, "
+            f"int={self.use_int}, version={self.version})"
+        )
+
+
+def np_graph_of(graph: WeightedGraph) -> NPGraph:
+    """The memoized NumPy snapshot of ``graph`` (rebuilt after mutations).
+
+    Routed through :class:`~repro.graphs.cache.GraphParamCache` alongside
+    the CSR snapshot, sharing its version-checked invalidation.
+    """
+    from .cache import param_cache  # deferred: cache imports our kernels
+
+    return param_cache(graph).npg()
+
+
+# --------------------------------------------------------------------- #
+# Batched shortest-path relaxation
+# --------------------------------------------------------------------- #
+
+# Cap on the (rows x columns) scratch the batched scan holds at once;
+# sources are processed in row blocks sized to stay under it.
+_SCAN_BLOCK_ELEMS = 1 << 22
+
+
+def _dist_rows(npg: NPGraph, lo: int, hi: int) -> Any:
+    """Shortest-path distances from sources ``lo..hi-1`` as a 2-D array.
+
+    Frontier-at-a-time array relaxation: each round gathers every
+    vertex's in-neighbor distances (one fancy-index + segment-min over
+    the CSR layout — rows of the symmetric CSR *are* the in-edge lists),
+    adds the per-edge weights, and folds the result into the distance
+    matrix with an elementwise min.  Rows are independent single-source
+    problems, so rows that reach their fixpoint drop out of later rounds
+    (the array analog of Dial's bucket queue draining in distance order).
+
+    Integral weights run in exact ``int64`` with ``npg.int_bound`` as the
+    infinity sentinel; fractional (or 2**53-exceeding) weights run in
+    ``float64`` with ``inf``.  Either way the fixpoint equals the oracle
+    Dijkstra distances bit-for-bit (see the module docstring).
+    """
+    np = _require_numpy()
+    n = npg.n
+    size = hi - lo
+    if npg.use_int:
+        weights = npg.iweights
+        sentinel: Any = npg.int_bound
+        dist = np.full((size, n), sentinel, dtype=np.int64)
+    else:
+        weights = npg.weights
+        sentinel = np.inf
+        dist = np.full((size, n), sentinel, dtype=np.float64)
+    dist[np.arange(size), np.arange(lo, hi)] = 0
+    if npg.m2 == 0:
+        return dist
+    # Candidate rows carry one sentinel pad column so every reduceat
+    # segment start (including the 2m of trailing degree-0 vertices) is
+    # a valid index without clamping — clamping would silently truncate
+    # the preceding vertex's segment.  Degree-0 columns (whose "segment"
+    # is empty and reads an arbitrary neighbor candidate) are masked
+    # back to the sentinel afterwards.
+    indices = npg.indices_pad
+    weights_pad = np.append(weights, sentinel)
+    starts = npg.indptr[:-1]
+    deg0 = npg.deg == 0
+    any_deg0 = bool(deg0.any())
+    active = np.arange(size)
+    while active.size:
+        rows = dist[active]
+        cand = rows[:, indices] + weights_pad
+        relaxed = np.minimum.reduceat(cand, starts, axis=1)
+        if any_deg0:
+            relaxed[:, deg0] = sentinel
+        new_rows = np.minimum(rows, relaxed)
+        changed = (new_rows != rows).any(axis=1)
+        dist[active] = new_rows
+        active = active[changed]
+    return dist
+
+
+# Dense-regime Floyd-Warshall dispatch.  The n x n int32 matrix stays
+# cache-resident up to _FW_MAX_N (~1.1ns per element on one core), so an
+# n-pass min-plus closure beats both the per-source Dial scan and the
+# batched relaxation whenever the graph carries enough edges per vertex
+# (or is small enough that n^3 is cheap regardless).  The sentinel is
+# chosen so SENTINEL + SENTINEL still fits in int32 — no overflow wraps
+# a "still infinite" candidate below a real distance.
+_FW_SENTINEL = (1 << 30) - 1
+_FW_MAX_N = 2048
+_FW_SMALL_N = 512
+_FW_DENSE_FACTOR = 64
+
+
+def _fw_applicable(npg: NPGraph) -> bool:
+    """True when the scan should run the dense Floyd-Warshall kernel.
+
+    Requires the exact-integer regime with every distance (and every
+    sentinel sum) representable in int32, and a shape where n^3 wins:
+    small graphs unconditionally, larger ones only when the edge count
+    clears ``n^2 / _FW_DENSE_FACTOR`` (sparser graphs fall back to the
+    blocked relaxation, whose work scales with m rather than n^2).
+    """
+    n = npg.n
+    if not npg.use_int or n < 2 or n > _FW_MAX_N:
+        return False
+    if npg.int_bound > _FW_SENTINEL:
+        return False
+    return n <= _FW_SMALL_N or npg.m2 * _FW_DENSE_FACTOR >= n * n
+
+
+def _fw_all_pairs(npg: NPGraph) -> Any:
+    """All-pairs distances via in-place int32 Floyd-Warshall.
+
+    Returns the dense ``(n, n)`` matrix with ``_FW_SENTINEL`` marking
+    unreachable pairs.  Exact integer min-plus closure: the result is
+    the true shortest-path distance for every pair, independent of the
+    order path sums associate in — which is why this path is gated to
+    ``use_int`` (see the module docstring's identity contract).
+    """
+    np = _require_numpy()
+    n = npg.n
+    dist = np.full((n, n), _FW_SENTINEL, dtype=np.int32)
+    dist[npg.edge_u, npg.indices] = npg.iweights.astype(np.int32)
+    np.fill_diagonal(dist, 0)
+    for k in range(n):
+        cand = dist[:, k, None] + dist[k, None, :]
+        np.minimum(dist, cand, out=dist)
+    return dist
+
+
+def np_all_sources_scan(npg: NPGraph) -> GraphScan:
+    """Batched eccentricities / diameter / max neighbor distance.
+
+    Value-identical to :func:`repro.graphs.csr.all_sources_scan`: the
+    same ``GraphScan`` floats bit-for-bit, computed from 2-D distance
+    blocks instead of one Python Dijkstra per source.  Dense graphs in
+    the exact-integer regime run the Floyd-Warshall closure instead of
+    blocked relaxation (:func:`_fw_applicable`); either way the values
+    are identical.  Memory is bounded by processing sources in
+    contiguous row blocks (the dense path holds one n x n int32 matrix).
+    """
+    np = _require_numpy()
+    n = npg.n
+    if n == 0:
+        return GraphScan([], 0.0, 0.0)
+    if _fw_applicable(npg):
+        dist = _fw_all_pairs(npg)
+        reached_all = (dist < _FW_SENTINEL).all(axis=1)
+        row_max = dist.max(axis=1).astype(np.float64)
+        ecc_arr = np.where(reached_all, row_max, np.inf)
+        max_nbr = (
+            float(dist[npg.edge_u, npg.indices].max()) if npg.m2 else 0.0
+        )
+        diameter = float(ecc_arr.max())
+        return GraphScan(
+            [float(e) for e in ecc_arr.tolist()], diameter, max_nbr
+        )
+    block = max(1, _SCAN_BLOCK_ELEMS // max(n, npg.m2, 1))
+    ecc = np.empty(n, dtype=np.float64)
+    max_nbr = 0.0
+    indices = npg.indices
+    edge_u = npg.edge_u
+    indptr = npg.indptr
+    for lo in range(0, n, block):
+        hi = min(n, lo + block)
+        dist = _dist_rows(npg, lo, hi)
+        if npg.use_int:
+            reached_all = (dist < npg.int_bound).all(axis=1)
+            row_max = dist.max(axis=1).astype(np.float64)
+            ecc[lo:hi] = np.where(reached_all, row_max, np.inf)
+        else:
+            # A row max of inf is exactly "some vertex unreached".
+            ecc[lo:hi] = dist.max(axis=1)
+        a, b = int(indptr[lo]), int(indptr[hi])
+        if b > a:
+            # dist(u, v) for every directed edge (u, v) with u in block:
+            # neighbors are always reachable, so these are finite.
+            nbr = dist[edge_u[a:b] - lo, indices[a:b]]
+            block_max = float(nbr.max())
+            if block_max > max_nbr:
+                max_nbr = block_max
+    diameter = float(ecc.max())
+    return GraphScan([float(e) for e in ecc.tolist()], diameter, max_nbr)
+
+
+def np_sssp_dist(npg: NPGraph, source: int) -> list[float]:
+    """Distances from one dense source index (``inf`` where unreachable).
+
+    Value-identical to the ``dist`` side of
+    :func:`repro.graphs.csr.sssp_maps` (which additionally reports
+    parents and discovery order — those are inherently sequential and
+    stay on the Python kernel under every backend).
+    """
+    np = _require_numpy()
+    if not 0 <= source < npg.n:
+        raise IndexError(f"source index {source} out of range 0..{npg.n - 1}")
+    row = _dist_rows(npg, source, source + 1)[0]
+    if npg.use_int:
+        out = row.astype(np.float64)
+        out[row >= npg.int_bound] = np.inf
+        return [float(x) for x in out.tolist()]
+    return [float(x) for x in row.tolist()]
+
+
+def np_delay_propagation(
+    npg: NPGraph, source: int, delays: Any = None
+) -> list[float]:
+    """Earliest flood/pulse arrival times under per-edge delays.
+
+    The paper's delay model lets each directed traversal of ``e`` take
+    any delay in ``[0, w(e)]``; a flood started at ``source`` delivers to
+    ``v`` at ``min`` over in-edges of ``arrival[u] + delay(u -> v)``.
+    ``delays`` is an array aligned with the directed CSR positions
+    (``delays[j]`` is the delay of the edge stored at position ``j``);
+    ``None`` means the worst case ``delays = weights``, which makes this
+    exactly single-source shortest paths.
+
+    Asymmetric delays are supported via the reverse-edge permutation:
+    relaxing *into* ``v`` over row ``v`` of the CSR reads the delay of
+    the *opposite* orientation, i.e. ``delays[rev[j]]``.  Updated
+    per-iteration as one fused array op per frontier round — the
+    delay-matrix idiom of SNIPPETS.md Snippet 2.
+    """
+    np = _require_numpy()
+    n = npg.n
+    if not 0 <= source < n:
+        raise IndexError(f"source index {source} out of range 0..{n - 1}")
+    if delays is None:
+        if npg.use_int:
+            return np_sssp_dist(npg, source)
+        in_delay = npg.weights
+    else:
+        delays = np.asarray(delays, dtype=np.float64)
+        if delays.shape != (npg.m2,):
+            raise ValueError(
+                f"delays must have one entry per directed CSR position "
+                f"({npg.m2}), got shape {delays.shape}"
+            )
+        if bool((delays < 0).any()):
+            raise ValueError("delays must be non-negative")
+        in_delay = delays[npg.rev]
+    arrival = np.full(n, np.inf, dtype=np.float64)
+    arrival[source] = 0.0
+    if npg.m2 == 0:
+        return [float(x) for x in arrival.tolist()]
+    # Same sentinel pad column as _dist_rows (see there for why).
+    starts = npg.indptr[:-1]
+    deg0 = npg.deg == 0
+    any_deg0 = bool(deg0.any())
+    indices = npg.indices_pad
+    in_delay_pad = np.append(in_delay, np.inf)
+    while True:
+        cand = arrival[indices] + in_delay_pad
+        relaxed = np.minimum.reduceat(cand, starts)
+        if any_deg0:
+            relaxed[deg0] = np.inf
+        new = np.minimum(arrival, relaxed)
+        if bool((new == arrival).all()):
+            break
+        arrival = new
+    return [float(x) for x in arrival.tolist()]
+
+
+# --------------------------------------------------------------------- #
+# Minimum spanning trees
+# --------------------------------------------------------------------- #
+
+
+def np_prim_mst(npg: NPGraph, root: int = 0) -> WeightedGraph:
+    """Array Prim; byte-identical to :func:`~repro.graphs.csr.csr_prim_mst`.
+
+    Maintains, per non-tree vertex, the best frontier edge keyed by
+    ``(weight, rank)`` where ``rank = add_step * 2m + CSR position``
+    replays the heap push counter's ordering exactly (see the module
+    docstring).  Each step is two vectorized passes — a masked update of
+    the frontier arrays over the new vertex's adjacency, and a masked
+    argmin to select the next tree edge — so the per-step work is one
+    adjacency row plus O(n) array ops, with no per-edge Python.
+
+    Raises ``ValueError`` on a disconnected graph, like every oracle.
+    """
+    np = _require_numpy()
+    n = npg.n
+    if n == 0:
+        return WeightedGraph()
+    csr = npg.csr
+    verts = csr.verts
+    raw_weights = csr.weights  # original weight objects for add_edge
+    indptr = npg.indptr
+    indices = npg.indices
+    weights = npg.weights
+    edge_u = npg.edge_u
+    m2 = max(npg.m2, 1)
+    int64_max = np.iinfo(np.int64).max
+    best_w = np.full(n, np.inf, dtype=np.float64)
+    best_rank = np.full(n, int64_max, dtype=np.int64)
+    best_pos = np.full(n, -1, dtype=np.int64)
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[root] = True
+    tree = WeightedGraph(vertices=[verts[root]])
+    add_edge = tree.add_edge
+    u = root
+    step = 0
+    for _ in range(n - 1):
+        a, b = int(indptr[u]), int(indptr[u + 1])
+        if b > a:
+            nbrs = indices[a:b]
+            ws = weights[a:b]
+            pos = np.arange(a, b, dtype=np.int64)
+            # Strict < : an equal-weight edge pushed later loses the tie,
+            # exactly as the heap's monotone push counter decides it.
+            improves = ~in_tree[nbrs] & (ws < best_w[nbrs])
+            if bool(improves.any()):
+                target = nbrs[improves]
+                best_w[target] = ws[improves]
+                best_rank[target] = step * m2 + pos[improves]
+                best_pos[target] = pos[improves]
+        step += 1
+        frontier_w = np.where(in_tree, np.inf, best_w)
+        w_min = frontier_w.min()
+        if not w_min < np.inf:
+            raise ValueError("graph is not connected; MST undefined")
+        tie_rank = np.where(frontier_w == w_min, best_rank, int64_max)
+        v = int(tie_rank.argmin())
+        j = int(best_pos[v])
+        add_edge(verts[int(edge_u[j])], verts[v], raw_weights[j])
+        in_tree[v] = True
+        u = v
+    return tree
+
+
+def np_kruskal_mst(npg: NPGraph) -> WeightedGraph:
+    """Kruskal via stable argsort; byte-identical to the CSR/dict oracles.
+
+    A stable ``argsort`` over the frozen edge-weight array yields exactly
+    the order Python's stable ``sorted(..., key=weight)`` visits —
+    ``graph.edges()`` order among equal weights, which *is* the pinned
+    tie-break rule.  The union-find admission pass stays a sequential
+    loop (each union depends on every prior one — that data dependence,
+    not the implementation, is what fixes the admitted edge set), run
+    over plain int lists with path halving.
+    """
+    np = _require_numpy()
+    csr = npg.csr
+    n = npg.n
+    verts = csr.verts
+    es = csr.edge_src
+    ed = csr.edge_dst
+    ew = csr.edge_weight
+    tree = WeightedGraph(vertices=verts)
+    add_edge = tree.add_edge
+    order = np.argsort(npg.edge_weight_f, kind="stable").tolist()
+    parent = list(range(n))
+    rank = [0] * n
+    added = 0
+    for j in order:
+        ru = es[j]
+        while parent[ru] != ru:
+            parent[ru] = parent[parent[ru]]
+            ru = parent[ru]
+        rv = ed[j]
+        while parent[rv] != rv:
+            parent[rv] = parent[parent[rv]]
+            rv = parent[rv]
+        if ru == rv:
+            continue
+        if rank[ru] < rank[rv]:
+            ru, rv = rv, ru
+        parent[rv] = ru
+        if rank[ru] == rank[rv]:
+            rank[ru] += 1
+        add_edge(verts[es[j]], verts[ed[j]], ew[j])
+        added += 1
+    if added != n - 1 and n > 0:
+        raise ValueError("graph is not connected; MST undefined")
+    return tree

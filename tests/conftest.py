@@ -1,0 +1,29 @@
+"""Shared fixtures: kernel-backend matrix for the graph substrate tests.
+
+``each_backend`` parametrizes a test over ``REPRO_KERNEL_BACKEND`` so
+every golden value is asserted under both the pure-Python CSR kernels
+and the NumPy backend (skipped automatically when numpy is absent —
+the no-numpy CI leg then runs the same tests on the python leg only).
+Modules opt in with ``pytestmark = pytest.mark.usefixtures("each_backend")``.
+"""
+
+import pytest
+
+from repro.graphs.npkernels import numpy_available
+
+KERNEL_BACKENDS = [
+    "python",
+    pytest.param(
+        "numpy",
+        marks=pytest.mark.skipif(
+            not numpy_available(), reason="numpy not installed"
+        ),
+    ),
+]
+
+
+@pytest.fixture(params=KERNEL_BACKENDS, ids=lambda b: f"backend={b}")
+def each_backend(request, monkeypatch):
+    """Run the requesting test once per kernel backend."""
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", request.param)
+    return request.param

@@ -6,11 +6,18 @@ dict insertion order, bit-equal float sums.  These tests pin that claim on
 a spread of shapes: random integer-weight graphs (the Dial bucket-queue
 scan path), unit-weight tie-heavy topologies, fractional weights (the
 binary-heap scan fallback), trees, and multi-component graphs.
+
+The whole module runs once per kernel backend (``each_backend``): the
+public entry points (``prim_mst``, ``kruskal_mst``, the cache) must pin
+the same golden values whether they dispatch to the pure-Python CSR
+kernels or the NumPy backend.
 """
 
 import math
 
 import pytest
+
+pytestmark = pytest.mark.usefixtures("each_backend")
 
 from repro.graphs import (
     WeightedGraph,

@@ -5,9 +5,15 @@ graphs to exact constants, and asserts the memoized
 :class:`~repro.graphs.cache.GraphParamCache` path agrees with raw
 (cache-free) recomputation — including after the graph mutates and the
 cache must invalidate.
+
+The whole module runs once per kernel backend (``each_backend``): every
+golden constant must hold bit-for-bit under both the pure-Python CSR
+kernels and the NumPy backend.
 """
 
 import pytest
+
+pytestmark = pytest.mark.usefixtures("each_backend")
 
 from repro.core.slt import shallow_light_tree
 from repro.graphs import (
