@@ -31,11 +31,19 @@ revision leaves a comparable perf record:
    ways: no recorder at all, a disabled :class:`repro.obs.NullRecorder`
    (the "tracing compiled out" path — must stay within 2% of untraced),
    and a full :class:`repro.obs.TraceRecorder` capturing every event.
+6. **Big tier** (``--big``) — the paper's graph families streamed
+   directly into flat buffers at n = 10^5..10^6 (10^4 with ``--quick``),
+   published once into shared memory and swept zero-copy through the
+   pool: stripe and per-source sweeps with serial == pool identity,
+   one-build-per-sweep counters, aggregates-only tracing (recorder
+   ``limit=0``), and an explicit peak-RSS budget the whole tier must
+   fit (exits non-zero otherwise, as it does on leaked segments).
 
 Usage::
 
     python scripts/bench.py                 # full pinned suite
     python scripts/bench.py --quick         # CI smoke (seconds, tiny sizes)
+    python scripts/bench.py --big           # add the shared-memory big tier
     python scripts/bench.py --jobs 4        # parallel sweep worker count
     python scripts/bench.py --out out.json  # explicit output path
     python scripts/bench.py --compare BENCH_<rev>.json   # regression gate
@@ -70,9 +78,11 @@ from concurrent.futures import ProcessPoolExecutor  # noqa: E402
 
 from repro.experiments.parallel import (  # noqa: E402
     chaos_cells,
+    pool_shm_stats,
     run_chaos_cell,
     run_parallel,
     shutdown_pool,
+    snapshot_rows,
 )
 from repro.graphs import (  # noqa: E402
     complete_graph,
@@ -88,6 +98,7 @@ from repro.graphs.csr import (  # noqa: E402
 )
 from repro.graphs.mst import kruskal_mst_dicts, prim_mst_dicts  # noqa: E402
 from repro.obs import NullRecorder, TraceRecorder  # noqa: E402
+from repro.obs.exporters import jsonable  # noqa: E402
 from repro.protocols.broadcast import FloodProcess  # noqa: E402
 from repro.sim.events import EventQueue  # noqa: E402
 from repro.sim.network import Network  # noqa: E402
@@ -668,6 +679,212 @@ def bench_chaos_sweep(jobs: int, quick: bool) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Big tier: zero-copy shared-memory sweeps at n = 10^5..10^6
+# --------------------------------------------------------------------- #
+
+# Peak-RSS ceiling for the big tier (self + children, as getrusage
+# reports it).  The n=10^6 lower-bound graph is ~56 MB flat; the budget
+# is the aggregates-only discipline made enforceable — a regression that
+# starts materializing per-vertex structures (dict graphs, distance
+# matrices, per-cell rows that aren't O(1)) blows through it immediately.
+BIG_BUDGET_MB = 1024
+BIG_BUDGET_QUICK_MB = 512
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set of this process plus its (reaped) children, MB.
+
+    ``ru_maxrss`` is KB on Linux; children report the *max* across
+    workers, so the sum is a conservative upper estimate of concurrent
+    residency — exactly the right direction for a budget assertion.
+    """
+    import resource
+
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return (self_kb + child_kb) / 1024.0
+
+
+def _fold_stripe_rows(rows: list[dict]) -> dict:
+    """Aggregate a stripe sweep to O(1) (rows never enter the report)."""
+    digest = None
+    wmax = 0.0
+    wsum = 0.0
+    edges = 0
+    for row in rows:
+        digest = row["digest"]  # last cell's digest anchors identity
+        edges += row["edges"]
+        wsum += row["wsum"]
+        if row["wmax"] > wmax:
+            wmax = row["wmax"]
+    return {"cells": len(rows), "edges": edges, "wmax": wmax,
+            "wsum": wsum, "last_digest": digest}
+
+
+def _big_family(name: str, builder, *, jobs: int, cells_target: int,
+                sources: int, kernel: str) -> dict:
+    """Build one graph family, publish it once, and sweep it twice.
+
+    The returned record carries the acceptance counters: ``graph_builds``
+    (publisher-side ``shm_creates`` delta — must be exactly 1 for the
+    whole sweep), per-worker attach/rebuild counts, and the serial vs
+    pool identity verdict over both the stripe and the sources sweep.
+    """
+    from repro.graphs import shm
+
+    before = shm.stats()
+    t0 = time.perf_counter()
+    flat = builder()
+    build_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    handle = shm.publish(flat, key=f"big-{name}")
+    publish_s = time.perf_counter() - t0
+    creates = shm.stats()["shm_creates"] - before["shm_creates"]
+
+    cell_size = max(1, flat.n // cells_target)
+    t0 = time.perf_counter()
+    serial_rows = snapshot_rows(handle, kind="stripe", cell_size=cell_size,
+                                force="serial")
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    pool_rows = snapshot_rows(handle, kind="stripe", cell_size=cell_size,
+                              force="pool", jobs=jobs, batch=64)
+    pool_s = time.perf_counter() - t0
+    stripe_identical = serial_rows == pool_rows
+
+    t0 = time.perf_counter()
+    src_pool = snapshot_rows(handle, kind="sources", limit=sources,
+                             cell_size=1, kernel=kernel, force="pool",
+                             jobs=jobs)
+    sources_pool_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    src_serial = snapshot_rows(handle, kind="sources", limit=sources,
+                               cell_size=1, kernel=kernel, force="serial")
+    sources_serial_s = time.perf_counter() - t0
+    sources_identical = src_pool == src_serial
+
+    workers = pool_shm_stats(jobs, snapshots=(handle,))
+    record = {
+        "n": flat.n,
+        "m": flat.m,
+        "nbytes": flat.nbytes,
+        "fingerprint": flat.fingerprint,
+        "segment": handle.segment,
+        "build_s": build_s,
+        "publish_s": publish_s,
+        "graph_builds": creates,
+        "cell_size": cell_size,
+        "stripe": _fold_stripe_rows(serial_rows),
+        "stripe_serial_s": serial_s,
+        "stripe_pool_s": pool_s,
+        "serial_cells_per_s": len(serial_rows) / serial_s,
+        "pool_cells_per_s": len(pool_rows) / pool_s,
+        "sources": sources,
+        "sources_kernel": kernel,
+        "sources_pool_s": sources_pool_s,
+        "sources_serial_s": sources_serial_s,
+        "reach_min": min(r["reach_min"] for r in src_serial),
+        "ecc_max": max(r["ecc_max"] for r in src_serial),
+        "sources_digest": src_serial[-1]["digest"],
+        "identical": stripe_identical and sources_identical,
+        "worker_creates": sum(w["shm_creates"] for w in workers),
+        "worker_attaches": sum(w["shm_attaches"] for w in workers),
+        "worker_rebuilds": sum(w["shm_rebuilds"] for w in workers),
+        "workers_probed": len(workers),
+    }
+    # One build per sweep, zero per-worker rebuilds: the tentpole's
+    # acceptance counters, asserted where the numbers are produced.
+    assert record["identical"], (name, "serial != pool rows")
+    assert creates <= 1, (name, "published more than one segment")
+    assert record["worker_rebuilds"] == 0, (name, "worker rebuilt the graph")
+    assert record["worker_creates"] == 0, (name, "worker created a segment")
+    return record
+
+
+def _big_traced_flood(quick: bool) -> dict:
+    """A flood run under aggregates-only tracing (``TraceRecorder(limit=0)``).
+
+    The recorder keeps per-span aggregates and drops every event payload,
+    so observability rides along at O(1) memory — the only tracing mode
+    the big tier permits under its budget.
+    """
+    n = 96 if quick else 256
+    graph = random_connected_graph(n, 2 * n, seed=11)
+    root = graph.vertices[0]
+    rec = TraceRecorder(limit=0)
+    net = Network(graph, lambda v: FloodProcess(v == root, "big"),
+                  recorder=rec)
+    t0 = time.perf_counter()
+    result = net.run()
+    wall = time.perf_counter() - t0
+    assert rec.n_recorded == 0, "limit=0 must keep no event payloads"
+    return {
+        "n": n,
+        "messages": result.message_count,
+        "emitted": rec.n_emitted,
+        "recorded": rec.n_recorded,
+        "dropped": rec.dropped,
+        "comm_cost": rec.total_cost,
+        "wall_s": wall,
+    }
+
+
+def bench_big(jobs: int, quick: bool) -> dict:
+    """The n = 10^5..10^6 tier: streamed builds, one publish, shm sweeps.
+
+    ``quick`` scales every family to n = 10^4 (the CI big-smoke shape);
+    the full tier runs the paper's lower-bound family at n = 10^6.  All
+    rows are aggregates (O(1) per cell) and the whole tier must fit the
+    explicit peak-RSS budget.
+    """
+    from repro.graphs import lower_bound_flat, lower_bound_split_flat, \
+        random_connected_flat
+    from repro.graphs import shm
+    from repro.graphs.npkernels import numpy_available
+
+    budget_mb = BIG_BUDGET_QUICK_MB if quick else BIG_BUDGET_MB
+    if quick:
+        families = {
+            # G_n is path-like: numpy's round-based relaxation needs ~n
+            # rounds there, so its sources pin the Python heap kernel.
+            "lower_bound": (lambda: lower_bound_flat(10_000), 4, "python"),
+            "split": (lambda: lower_bound_split_flat(10_000, 100), 4,
+                      "python"),
+            "random": (lambda: random_connected_flat(10_000, 20_000, seed=29),
+                       8, "numpy" if numpy_available() else "python"),
+        }
+        cells_target = 1_000
+    else:
+        families = {
+            "lower_bound": (lambda: lower_bound_flat(1_000_000), 2, "python"),
+            "split": (lambda: lower_bound_split_flat(100_000, 1_000), 4,
+                      "python"),
+            "random": (lambda: random_connected_flat(100_000, 200_000,
+                                                     seed=29),
+                       8, "numpy" if numpy_available() else "python"),
+        }
+        cells_target = 10_000
+
+    shutdown_pool()  # fresh workers; also unlinks any earlier segments
+    out: dict = {"budget_mb": budget_mb, "cells_target": cells_target}
+    for name, (builder, sources, kernel) in families.items():
+        out[name] = _big_family(name, builder, jobs=jobs,
+                                cells_target=cells_target, sources=sources,
+                                kernel=kernel)
+    out["traced_flood"] = _big_traced_flood(quick)
+    out["shm"] = {k: v for k, v in shm.stats().items()
+                  if k.startswith("shm_")}
+    shutdown_pool()
+    out["segments_after_shutdown"] = sum(
+        1 for f in os.listdir("/dev/shm")
+        if f.startswith("rshm-")
+    ) if os.path.isdir("/dev/shm") else 0
+    out["peak_rss_mb"] = _peak_rss_mb()
+    out["within_budget"] = out["peak_rss_mb"] <= budget_mb
+    return out
+
+
+# --------------------------------------------------------------------- #
 # Regression compare
 # --------------------------------------------------------------------- #
 
@@ -701,6 +918,15 @@ def comparable_metrics(report: dict) -> dict:
     tr = report.get("tracing", {})
     if "disabled_ratio" in tr:
         m["tracing/disabled_ratio"] = tr["disabled_ratio"]
+    big = report.get("big_tier", {})
+    rand = big.get("random", {})
+    # Only the random family's stripe throughput gates: its per-cell cost
+    # (cell_size x avg degree) is size-independent between the quick and
+    # full shapes, unlike the absolute build times.
+    if "serial_cells_per_s" in rand:
+        m["big_tier/random/serial_cells_per_s"] = rand["serial_cells_per_s"]
+    if "pool_cells_per_s" in rand:
+        m["big_tier/random/pool_cells_per_s"] = rand["pool_cells_per_s"]
     return m
 
 
@@ -764,6 +990,9 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
                     help="tiny pinned sizes for CI smoke runs")
+    ap.add_argument("--big", action="store_true",
+                    help="add the shared-memory big tier (n=10^5..10^6 "
+                         "full, n=10^4 with --quick) under its RSS budget")
     ap.add_argument("--jobs", type=int, default=4,
                     help="worker count for the parallel sweep bench")
     ap.add_argument("--reps", type=int, default=None,
@@ -794,9 +1023,13 @@ def main(argv: list[str] | None = None) -> int:
         "chaos_sweep": bench_chaos_sweep(args.jobs, args.quick),
         "tracing": bench_tracing(reps, args.quick),
     }
+    if args.big:
+        report["big_tier"] = bench_big(args.jobs, args.quick)
 
     out = args.out or REPO / f"BENCH_{rev}.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    # jsonable: the big tier's eccentricity aggregates can be inf, which
+    # strict JSON (and some loaders) reject.
+    out.write_text(json.dumps(jsonable(report), indent=2) + "\n")
 
     eq = report["event_queue"]
     for name, s in eq["shapes"].items():
@@ -840,11 +1073,44 @@ def main(argv: list[str] | None = None) -> int:
           f"recording {tr['recording_s'] * 1e3:.2f}ms "
           f"({tr['recording_overhead_pct']:+.2f}%, "
           f"{tr['trace_events']} events)")
+    if args.big:
+        big = report["big_tier"]
+        for fam in ("lower_bound", "split", "random"):
+            f = big[fam]
+            print(f"big {fam:12s} n={f['n']:<8d} m={f['m']:<8d} "
+                  f"build {f['build_s']:.2f}s  publish {f['publish_s'] * 1e3:.0f}ms  "
+                  f"builds={f['graph_builds']}  "
+                  f"stripe {f['stripe']['cells']} cells "
+                  f"serial {f['serial_cells_per_s']:,.0f}/s "
+                  f"pool {f['pool_cells_per_s']:,.0f}/s  "
+                  f"sources({f['sources_kernel']}) {f['sources_pool_s']:.2f}s  "
+                  f"attaches={f['worker_attaches']} "
+                  f"rebuilds={f['worker_rebuilds']}  "
+                  f"identical={f['identical']}")
+        tf = big["traced_flood"]
+        print(f"big traced flood: n={tf['n']}, {tf['messages']} msgs, "
+              f"{tf['emitted']} events emitted / {tf['recorded']} kept "
+              f"(limit=0), {tf['wall_s'] * 1e3:.1f}ms")
+        print(f"big tier: peak rss {big['peak_rss_mb']:.0f} MB "
+              f"(budget {big['budget_mb']} MB, "
+              f"within={big['within_budget']}), "
+              f"segments after shutdown: {big['segments_after_shutdown']}")
     print(f"wrote {out}")
 
     if not cs["identical"]:
         print("FATAL: parallel sweep rows differ from serial", file=sys.stderr)
         return 1
+    if args.big:
+        big = report["big_tier"]
+        if not big["within_budget"]:
+            print(f"FATAL: big tier peak RSS {big['peak_rss_mb']:.0f} MB "
+                  f"exceeds the {big['budget_mb']} MB budget",
+                  file=sys.stderr)
+            return 1
+        if big["segments_after_shutdown"]:
+            print("FATAL: big tier leaked shared-memory segments",
+                  file=sys.stderr)
+            return 1
     if args.compare is not None and not run_compare(report, args.compare,
                                                     args.tolerance):
         return 1

@@ -17,12 +17,18 @@ Render the full report from the command line:
 from .base import Table, all_experiments, experiment, render_markdown, render_text
 from .parallel import (
     ChaosCell,
+    SnapshotCell,
     cell_seed,
     chaos_cells,
     chaos_rows,
+    pool_shm_stats,
     register_case_provider,
     run_chaos_cell,
     run_parallel,
+    run_snapshot_cell,
+    shutdown_pool,
+    snapshot_cells,
+    snapshot_rows,
     summarize_chaos_entry,
 )
 
@@ -41,4 +47,11 @@ __all__ = [
     "chaos_rows",
     "summarize_chaos_entry",
     "register_case_provider",
+    "shutdown_pool",
+    # snapshot sweeps (zero-copy shared-memory graphs)
+    "SnapshotCell",
+    "snapshot_cells",
+    "run_snapshot_cell",
+    "snapshot_rows",
+    "pool_shm_stats",
 ]

@@ -47,13 +47,17 @@ from __future__ import annotations
 import atexit
 import hashlib
 import os
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import lru_cache
 from collections.abc import Callable, Iterable, Sequence
-from typing import Any, TypeVar
+from typing import TYPE_CHECKING, Any, TypeVar
+
+if TYPE_CHECKING:
+    from ..graphs.shm import SnapshotHandle
 
 __all__ = [
     "cell_seed",
@@ -67,6 +71,11 @@ __all__ = [
     "chaos_rows",
     "summarize_chaos_entry",
     "run_experiment_by_key",
+    "SnapshotCell",
+    "snapshot_cells",
+    "run_snapshot_cell",
+    "snapshot_rows",
+    "pool_shm_stats",
 ]
 
 _T = TypeVar("_T")
@@ -127,7 +136,11 @@ def parallel_plan(
     return ("pool", max(1, n_cells // (jobs * _CHUNK_WAVES)))
 
 
-def _worker_init(warm: tuple = (), kernel_backend: str | None = None) -> None:
+def _worker_init(
+    warm: tuple = (),
+    kernel_backend: str | None = None,
+    snapshots: tuple = (),
+) -> None:
     """Per-worker initializer: pre-build shared state for each warm spec.
 
     Runs once in every pool process before it receives cells.  Each spec
@@ -148,6 +161,21 @@ def _worker_init(warm: tuple = (), kernel_backend: str | None = None) -> None:
         from ..graphs.npkernels import set_kernel_backend
 
         set_kernel_backend(kernel_backend)
+    if snapshots:
+        # Attach every published graph snapshot once, up front: cells
+        # then resolve their handles from the process-local cache
+        # (zero-copy views of the shared segment), never rebuilding.
+        # Attachment failures are deliberately swallowed here — attach()
+        # falls back to a spec rebuild at cell time, and a snapshot that
+        # is truly unreachable should fail the *cell*, not kill the
+        # worker before it ever ran one.
+        from ..graphs import shm
+
+        for handle in snapshots:
+            try:
+                shm.attach(handle)
+            except Exception:
+                pass
     for n, extra_edges, graph_seed, protocols in warm:
         cases = _cases_by_name(n, extra_edges, graph_seed)
         names = protocols if protocols is not None else tuple(cases)
@@ -162,6 +190,19 @@ def shutdown_pool() -> None:
     initializer); an ``atexit`` hook calls it so interpreter shutdown
     never hangs on live workers.
     """
+    _dispose_pool()
+    # Workers are gone, so nothing maps the published graph segments any
+    # more: unlink them all.  Guarded on the module being imported — a
+    # process that never published has nothing to clean, and this also
+    # runs from atexit where fresh imports are unwelcome.  (Internal pool
+    # *rebuilds* use _dispose_pool directly: a key change must not unlink
+    # segments the next sweep just published.)
+    shm = sys.modules.get("repro.graphs.shm")
+    if shm is not None:
+        shm.unlink_all()
+
+
+def _dispose_pool() -> None:
     global _pool, _pool_key
     if _pool is not None:
         _pool.shutdown(wait=True, cancel_futures=True)
@@ -169,26 +210,38 @@ def shutdown_pool() -> None:
         _pool_key = None
 
 
-def _get_pool(jobs: int, warm: tuple) -> ProcessPoolExecutor:
-    """The persistent pool for ``(jobs, warm, backend)``, rebuilt on change."""
+def _get_pool(jobs: int, warm: tuple, snapshots: tuple = ()) -> ProcessPoolExecutor:
+    """The persistent pool for ``(jobs, warm, backend, snapshots)``.
+
+    Snapshot handles join the pool key so a sweep over different (or
+    re-published) graphs gets fresh workers that attach the right
+    segments in their initializer; handles are frozen dataclasses of
+    primitives, so the key stays hashable and comparison is by value.
+    """
     global _pool, _pool_key, _atexit_registered
     from ..graphs.npkernels import kernel_backend
 
     backend = kernel_backend()
-    key = (jobs, warm, backend)
+    key = (jobs, warm, backend, snapshots)
     if _pool is not None and _pool_key != key:
-        shutdown_pool()
+        _dispose_pool()
     if _pool is None:
         _pool = ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_worker_init,
-            initargs=(warm, backend),
+            initargs=(warm, backend, snapshots),
         )
         _pool_key = key
         if not _atexit_registered:
             atexit.register(shutdown_pool)
             _atexit_registered = True
     return _pool
+
+
+def _run_cell_batch(item: tuple) -> list:
+    """Execute one batched dispatch group ``(fn, cells)`` in a worker."""
+    fn, group = item
+    return [fn(c) for c in group]
 
 
 def run_parallel(
@@ -199,6 +252,8 @@ def run_parallel(
     chunksize: int | None = None,
     warm: tuple = (),
     force: str | None = None,
+    snapshots: tuple = (),
+    batch: int | None = None,
 ) -> list[_R]:
     """Map ``fn`` over ``cells``, sharding across the persistent pool.
 
@@ -219,6 +274,13 @@ def run_parallel(
     the pool's workers die mid-map (``BrokenProcessPool``), the pool is
     disposed and the whole map re-runs serially — cells are pure
     functions of their description, so a re-run is byte-identical.
+
+    ``snapshots`` is a tuple of published :class:`SnapshotHandle`\\ s the
+    workers attach once in their initializer (and part of the pool key —
+    see :func:`_get_pool`).  ``batch`` groups that many cells per task so
+    huge sweeps of cheap cells pay one pickle round-trip per *group*
+    instead of per cell; results are flattened back to cell order, so
+    batching is invisible in the output (serial runs ignore it).
     """
     cells = list(cells)
     if force not in (None, "serial", "pool"):
@@ -231,8 +293,16 @@ def run_parallel(
         mode, auto_chunk = parallel_plan(len(cells), jobs)
     if force == "serial" or mode == "serial":
         return [fn(c) for c in cells]
-    pool = _get_pool(workers, tuple(warm))
+    pool = _get_pool(workers, tuple(warm), tuple(snapshots))
     try:
+        if batch is not None and batch > 1 and len(cells) > batch:
+            groups = [
+                (fn, tuple(cells[i:i + batch]))
+                for i in range(0, len(cells), batch)
+            ]
+            gchunk = chunksize or max(1, len(groups) // (workers * _CHUNK_WAVES))
+            nested = pool.map(_run_cell_batch, groups, chunksize=gchunk)
+            return [row for group_rows in nested for row in group_rows]
         return list(pool.map(fn, cells, chunksize=chunksize or auto_chunk))
     except BrokenProcessPool:
         shutdown_pool()
@@ -450,6 +520,152 @@ def chaos_rows(
     warm = ((n, extra_edges, graph_seed, None),)
     return run_parallel(run_chaos_cell, cells, jobs=jobs, warm=warm,
                         force=force)
+
+
+# --------------------------------------------------------------------- #
+# Snapshot sweeps: zero-copy cells over a published shared-memory graph
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SnapshotCell:
+    """One cell of a sweep over a published graph snapshot.
+
+    Carries the :class:`~repro.graphs.shm.SnapshotHandle` itself —
+    handles are frozen dataclasses of primitives, so the cell pickles in
+    O(1) regardless of graph size; the worker resolves it against its
+    process-local attachment cache (populated by :func:`_worker_init`),
+    so no cell ever copies or rebuilds graph buffers.
+
+    ``kind`` selects the kernel: ``"stripe"`` computes O(deg) local
+    adjacency stats for vertices ``lo..hi-1`` (pure snapshot-read cells —
+    the acceptance sweep's shape), ``"sources"`` runs per-source SSSP
+    aggregates for sources ``lo..hi-1``.  ``kernel`` pins the backend for
+    ``"sources"`` cells (``"python"`` or ``"numpy"``); it is resolved at
+    *cell-creation* time so serial and pooled executions of the same cell
+    list are structurally guaranteed to run the same kernel.
+    """
+
+    handle: SnapshotHandle
+    kind: str
+    lo: int
+    hi: int
+    kernel: str
+
+
+def snapshot_cells(
+    handle: SnapshotHandle,
+    *,
+    kind: str = "sources",
+    limit: int | None = None,
+    cell_size: int = 1,
+    kernel: str | None = None,
+) -> list[SnapshotCell]:
+    """The cell list of a snapshot sweep, in vertex/source order.
+
+    ``limit`` caps how many vertices (``"stripe"``) or sources
+    (``"sources"``) the sweep covers — big-tier runs sample a prefix
+    rather than all ``n``.  ``cell_size`` vertices/sources go into each
+    cell.  ``kernel=None`` resolves the ambient backend once, here, so
+    the cells carry it explicitly (see :class:`SnapshotCell`).
+    """
+    if kind not in ("stripe", "sources"):
+        raise ValueError(f"kind must be 'stripe' or 'sources': {kind!r}")
+    if cell_size < 1:
+        raise ValueError(f"cell_size must be >= 1: {cell_size}")
+    if kernel is None:
+        from ..graphs.npkernels import kernel_backend
+
+        kernel = kernel_backend()
+    count = handle.n if limit is None else min(limit, handle.n)
+    return [
+        SnapshotCell(handle, kind, lo, min(lo + cell_size, count), kernel)
+        for lo in range(0, count, cell_size)
+    ]
+
+
+def run_snapshot_cell(cell: SnapshotCell) -> dict:
+    """Execute one snapshot cell against the attached shared segment.
+
+    :func:`~repro.graphs.shm.attach` resolves the handle zero-copy from
+    the worker's attachment cache (or the segment itself on a cold
+    process; or a spec rebuild when shared memory is unavailable — the
+    graceful-degradation path).  Dispatches on the cell's pinned kind and
+    kernel; both kernels return the same row shape with a byte-identity
+    digest, so serial == pool comparisons are plain ``==`` on row lists.
+    """
+    from ..graphs import shm
+    from ..graphs.csr import flat_source_stats, flat_stripe_stats
+    from ..graphs.npkernels import np_flat_source_stats, numpy_available
+
+    flat = shm.attach(cell.handle)
+    if cell.kind == "stripe":
+        return flat_stripe_stats(flat, cell.lo, cell.hi)
+    if cell.kernel == "numpy" and numpy_available():
+        return np_flat_source_stats(flat, cell.lo, cell.hi)
+    return flat_source_stats(flat, cell.lo, cell.hi)
+
+
+def snapshot_rows(
+    handle: SnapshotHandle,
+    *,
+    jobs: int | None = None,
+    kind: str = "sources",
+    limit: int | None = None,
+    cell_size: int = 1,
+    kernel: str | None = None,
+    force: str | None = None,
+    batch: int | None = None,
+    chunksize: int | None = None,
+) -> list[dict]:
+    """Sweep a published snapshot, optionally sharded; rows in cell order.
+
+    The handle joins the pool key via ``snapshots=(handle,)``, so workers
+    attach the segment once in their initializer and every cell runs
+    zero-copy against it — exactly one graph build per sweep, which
+    :func:`pool_shm_stats` lets callers assert.  Serial (``jobs<=1`` or
+    ``force="serial"``) runs the same cells in-process against the same
+    published flat, so serial and pool row lists are byte-identical.
+    """
+    cells = snapshot_cells(handle, kind=kind, limit=limit,
+                           cell_size=cell_size, kernel=kernel)
+    return run_parallel(run_snapshot_cell, cells, jobs=jobs, force=force,
+                        snapshots=(handle,), batch=batch,
+                        chunksize=chunksize)
+
+
+def _probe_shm_stats(_cell: int) -> dict:
+    """Worker-side probe: this process's shm counters, keyed by pid."""
+    from ..graphs import shm
+
+    return {"pid": os.getpid(), **shm.stats()}
+
+
+def pool_shm_stats(
+    jobs: int | None = None,
+    *,
+    warm: tuple = (),
+    snapshots: tuple = (),
+) -> list[dict]:
+    """Per-worker shared-memory counters from the live pool, one dict per pid.
+
+    Dispatches a wave of probe cells with ``chunksize=1`` so every worker
+    (very likely) answers at least once, then dedups by pid.  ``warm`` and
+    ``snapshots`` must match the sweep that built the pool — they are part
+    of the pool key, and a mismatch would silently rebuild the pool and
+    probe fresh workers instead.  This is how the acceptance criterion
+    "one graph build per sweep" is *measured*: after an shm-backed sweep,
+    every worker reports ``shm_creates == 0`` (only the parent creates)
+    and the rebuild counter stays zero.
+    """
+    workers = jobs if jobs and jobs > 1 else 2
+    rows = run_parallel(_probe_shm_stats, list(range(workers * 4)),
+                        jobs=workers, warm=warm, snapshots=snapshots,
+                        force="pool", chunksize=1)
+    by_pid: dict[int, dict] = {}
+    for row in rows:
+        by_pid.setdefault(row["pid"], row)
+    return [by_pid[pid] for pid in sorted(by_pid)]
 
 
 # --------------------------------------------------------------------- #

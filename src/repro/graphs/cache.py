@@ -55,7 +55,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from .csr import CSRGraph, GraphScan, all_sources_scan, csr_prim_mst, sssp_maps
+from .csr import (
+    CSRGraph,
+    FlatGraph,
+    GraphScan,
+    all_sources_scan,
+    csr_prim_mst,
+    flat_of,
+    sssp_maps,
+)
 from .npkernels import (
     NPGraph,
     kernel_backend,
@@ -66,6 +74,7 @@ from .weighted_graph import Vertex, WeightedGraph
 
 if TYPE_CHECKING:  # runtime import is deferred: params imports this module
     from .params import NetworkParams
+    from .shm import SnapshotHandle
 
 __all__ = ["GraphParamCache", "param_cache"]
 
@@ -74,9 +83,10 @@ class GraphParamCache:
     """Version-checked memo of one graph's weighted parameters."""
 
     __slots__ = (
-        "graph", "_version", "_csrg", "_npg", "_sssp", "_scan", "_ecc",
-        "_mst", "_mst_weight", "_params", "_connected",
+        "graph", "_version", "_csrg", "_npg", "_flat", "_sssp", "_scan",
+        "_ecc", "_mst", "_mst_weight", "_params", "_connected",
         "hits", "misses", "invalidations", "csr_builds", "np_builds",
+        "flat_builds",
     )
 
     def __init__(self, graph: WeightedGraph) -> None:
@@ -86,6 +96,7 @@ class GraphParamCache:
         self.invalidations = 0
         self.csr_builds = 0
         self.np_builds = 0
+        self.flat_builds = 0
         self._wipe()
         self._version = graph.version
 
@@ -96,6 +107,7 @@ class GraphParamCache:
     def _wipe(self) -> None:
         self._csrg: CSRGraph | None = None
         self._npg: NPGraph | None = None
+        self._flat: FlatGraph | None = None
         self._sssp: dict[Vertex, tuple[dict, dict]] = {}
         # GraphScan: ecc row + diameter + max nbr dist.
         self._scan: GraphScan | None = None
@@ -141,6 +153,28 @@ class GraphParamCache:
             self._npg = NPGraph(self.csr())
             self.np_builds += 1
         return self._npg
+
+    def flat(self) -> FlatGraph:
+        """The transportable flat-buffer snapshot at the current version.
+
+        One conversion per graph version (``flat_builds`` mirrors
+        ``csr_builds``); the result is what :func:`publish` ships into a
+        shared-memory segment.  Wiped by the same version check as the
+        CSR snapshot, so a published handle for a mutated graph can never
+        alias stale bytes — re-publishing bumps ``version`` and unlinks
+        the old segment.
+        """
+        self._sync()
+        if self._flat is None:
+            self._flat = flat_of(self.csr())
+            self.flat_builds += 1
+        return self._flat
+
+    def publish(self, key: str | None = None) -> SnapshotHandle:
+        """Publish the flat snapshot for zero-copy pool attachment."""
+        from . import shm  # deferred: keep shared-memory optional at import
+
+        return shm.publish(self.flat(), key=key)
 
     # ------------------------------------------------------------------ #
     # Shortest-path structure
@@ -259,15 +293,25 @@ class GraphParamCache:
         return self._params
 
     def stats(self) -> dict:
-        """Counters for tests and the bench harness."""
-        return {
+        """Counters for tests and the bench harness.
+
+        Includes the process-wide shared-memory snapshot counters
+        (``shm_creates`` / ``shm_attaches`` / ``shm_bytes`` ...) so sweep
+        call sites read build *and* transport behavior from one place.
+        """
+        from . import shm  # deferred: keep shared-memory optional at import
+
+        out = {
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
             "csr_builds": self.csr_builds,
             "np_builds": self.np_builds,
+            "flat_builds": self.flat_builds,
             "sssp_sources": len(self._sssp),
         }
+        out.update(shm.stats())
+        return out
 
 
 def param_cache(graph: WeightedGraph) -> GraphParamCache:

@@ -42,8 +42,10 @@ snapshot is impossible through the public API.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
-from typing import NamedTuple
+from array import array
+from typing import Any, NamedTuple
 
 from .weighted_graph import Vertex, WeightedGraph
 
@@ -56,6 +58,12 @@ __all__ = [
     "GraphScan",
     "csr_prim_mst",
     "csr_kruskal_mst",
+    "FlatGraph",
+    "edges_to_flat",
+    "flat_of",
+    "flat_sssp_dist",
+    "flat_source_stats",
+    "flat_stripe_stats",
 ]
 
 _INF = float("inf")
@@ -482,3 +490,375 @@ def csr_kruskal_mst(csr: CSRGraph) -> WeightedGraph:
     if added != n - 1 and n > 0:
         raise ValueError("graph is not connected; MST undefined")
     return tree
+
+
+# --------------------------------------------------------------------- #
+# Flat buffer-backed snapshots (the zero-copy / shared-memory substrate)
+# --------------------------------------------------------------------- #
+
+
+def _byte_view(buf: Any) -> memoryview:
+    """A flat unsigned-byte view over an ``array``/``memoryview`` buffer."""
+    return memoryview(buf).cast("B")
+
+
+class FlatGraph:
+    """A dense-index CSR snapshot held in flat C buffers.
+
+    Where :class:`CSRGraph` keeps Python lists (and interning maps back to
+    the original vertex objects), ``FlatGraph`` keeps exactly three
+    contiguous buffers — ``indptr`` (int64, length ``n + 1``), ``indices``
+    (int64, length ``2m``) and ``weights`` (float64, length ``2m``) — and
+    nothing else.  That shape is what makes a graph *transportable*: the
+    buffers can be copied byte-for-byte into a
+    ``multiprocessing.shared_memory`` segment and re-viewed zero-copy in
+    every pool worker (:mod:`repro.graphs.shm`), and they can be built
+    *streamed* from an edge generator without ever materializing the
+    dict-of-dicts ``WeightedGraph`` (:func:`edges_to_flat`) — the only way
+    the paper's lower-bound families fit in memory at n = 10^6.
+
+    ``indptr``/``indices``/``weights`` are either ``array.array`` (local
+    build) or typed ``memoryview`` casts over a shared segment (attach
+    path); both index to plain Python ints/floats, so every kernel below
+    runs on either backing unchanged.
+
+    ``spec`` is an optional picklable rebuild recipe (see
+    ``repro.graphs.shm.build_spec``) used as the last-resort fallback when
+    a worker cannot attach the shared segment.  ``version`` mirrors the
+    ``WeightedGraph.version`` counter when the snapshot derives from a
+    live graph (0 for streamed builds, which have no mutable source).
+    """
+
+    __slots__ = (
+        "n", "indptr", "indices", "weights", "integral", "wmax",
+        "spec", "version", "np_cache", "_fp",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        indptr: Any,
+        indices: Any,
+        weights: Any,
+        *,
+        integral: bool,
+        wmax: float,
+        spec: tuple[Any, ...] | None = None,
+        version: int = 0,
+    ) -> None:
+        if len(indptr) != n + 1:
+            raise ValueError(f"indptr must have n+1={n + 1} entries, got {len(indptr)}")
+        m2 = int(indptr[n]) if n else 0
+        if len(indices) != m2 or len(weights) != m2:
+            raise ValueError(
+                f"indices/weights must have indptr[-1]={m2} entries, "
+                f"got {len(indices)}/{len(weights)}"
+            )
+        self.n = n
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.integral = integral
+        self.wmax = wmax
+        self.spec = spec
+        self.version = version
+        self.np_cache: Any = None  # NPFlat memo, owned by repro.graphs.npkernels
+        self._fp: str | None = None
+
+    @property
+    def m2(self) -> int:
+        """Directed slot count (each undirected edge appears twice)."""
+        return len(self.indices)
+
+    @property
+    def m(self) -> int:
+        return self.m2 // 2
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes across the three buffers."""
+        return 8 * (self.n + 1 + 2 * self.m2)
+
+    def buffers(self) -> tuple[memoryview, memoryview, memoryview]:
+        """Byte views of ``(indptr, indices, weights)`` — the shm payload."""
+        return (
+            _byte_view(self.indptr),
+            _byte_view(self.indices),
+            _byte_view(self.weights),
+        )
+
+    @property
+    def fingerprint(self) -> str:
+        """16-hex sha256 over the header and all three buffers.
+
+        Content-addressed and backing-independent: a streamed build, a
+        ``flat_of`` conversion, and a shared-memory attachment of the same
+        graph all report the same fingerprint.  Computed once and cached.
+        """
+        if self._fp is None:
+            h = hashlib.sha256()
+            h.update(
+                f"flat|n={self.n}|m2={self.m2}|integral={int(self.integral)}"
+                f"|wmax={self.wmax!r}".encode()
+            )
+            for view in self.buffers():
+                h.update(view)
+            self._fp = h.hexdigest()[:16]
+        return self._fp
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatGraph(n={self.n}, m={self.m}, integral={self.integral}, "
+            f"nbytes={self.nbytes})"
+        )
+
+
+def edges_to_flat(
+    n: int,
+    us: Any,
+    vs: Any,
+    ws: Any,
+    *,
+    integral: bool,
+    wmax: float,
+    spec: tuple[Any, ...] | None = None,
+    use_numpy: bool | None = None,
+) -> FlatGraph:
+    """Build a :class:`FlatGraph` from parallel edge arrays in O(m).
+
+    ``us``/``vs`` are dense endpoint indices and ``ws`` the weights of the
+    undirected edge list *in insertion order*.  Placement replays the
+    dict-of-dicts adjacency order exactly: ``WeightedGraph.add_edge``
+    appends to both endpoints' neighbor dicts at edge-add time, so vertex
+    ``i``'s CSR row must list its incident edges in edge-index order —
+    which is precisely what counting-sort placement (or a stable lexsort
+    keyed ``(src, edge index)``) produces.  The numpy fast path and the
+    pure-Python fallback yield byte-identical buffers; ``use_numpy``
+    forces one for differential testing.
+    """
+    e_cnt = len(us)
+    if len(vs) != e_cnt or len(ws) != e_cnt:
+        raise ValueError("us/vs/ws must have equal lengths")
+    if use_numpy is None or use_numpy:
+        from .npkernels import _numpy  # deferred: npkernels imports this module
+
+        np = _numpy()
+        if np is None and use_numpy:
+            raise RuntimeError("numpy requested but not importable")
+    else:
+        np = None
+    if np is not None and e_cnt:
+        u_arr = np.frombuffer(us, dtype=np.int64)
+        v_arr = np.frombuffer(vs, dtype=np.int64)
+        w_arr = np.frombuffer(ws, dtype=np.float64)
+        src = np.concatenate([u_arr, v_arr])
+        dst = np.concatenate([v_arr, u_arr])
+        wt = np.concatenate([w_arr, w_arr])
+        tag = np.arange(e_cnt, dtype=np.int64)
+        tag = np.concatenate([tag, tag])
+        # Primary key src, secondary the edge index: both half-edges of
+        # one edge land in distinct rows, so the tag tie never fires
+        # within a pair and rows come out in edge-insertion order.
+        order = np.lexsort((tag, src))
+        indptr_np = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=indptr_np[1:])
+        indptr = array("q")
+        indptr.frombytes(indptr_np.tobytes())
+        indices = array("q")
+        indices.frombytes(dst[order].tobytes())
+        weights = array("d")
+        weights.frombytes(wt[order].tobytes())
+        return FlatGraph(
+            n, indptr, indices, weights,
+            integral=integral, wmax=wmax, spec=spec,
+        )
+    deg = [0] * n
+    for e in range(e_cnt):
+        deg[us[e]] += 1
+        deg[vs[e]] += 1
+    indptr = array("q", bytes(8 * (n + 1)))
+    total = 0
+    for i in range(n):
+        total += deg[i]
+        indptr[i + 1] = total
+    cursor = list(indptr[:n])
+    indices = array("q", bytes(8 * 2 * e_cnt))
+    weights = array("d", bytes(8 * 2 * e_cnt))
+    for e in range(e_cnt):
+        u = us[e]
+        v = vs[e]
+        w = ws[e]
+        ju = cursor[u]
+        indices[ju] = v
+        weights[ju] = w
+        cursor[u] = ju + 1
+        jv = cursor[v]
+        indices[jv] = u
+        weights[jv] = w
+        cursor[v] = jv + 1
+    return FlatGraph(
+        n, indptr, indices, weights,
+        integral=integral, wmax=wmax, spec=spec,
+    )
+
+
+def flat_of(csr: CSRGraph, spec: tuple[Any, ...] | None = None) -> FlatGraph:
+    """Convert a :class:`CSRGraph` into flat C buffers (one copy).
+
+    The dense indexing, adjacency order, and weight values carry over
+    unchanged, so a streamed build of the same graph
+    (:mod:`repro.graphs.generators`) produces byte-identical buffers and
+    the same :attr:`FlatGraph.fingerprint`.
+    """
+    if csr.iadj is not None:
+        wmax = float(csr.wmax)
+    else:
+        wmax = float(max(csr.weights)) if csr.weights else 0.0
+    return FlatGraph(
+        csr.n,
+        array("q", csr.indptr),
+        array("q", csr.indices),
+        array("d", csr.weights),
+        integral=csr.iadj is not None,
+        wmax=wmax,
+        spec=spec,
+        version=csr.version,
+    )
+
+
+def flat_sssp_dist(flat: FlatGraph, source: int) -> array[float]:
+    """Heap Dijkstra over the flat buffers; float64 distances, inf unreached.
+
+    Value-identical to :func:`sssp_maps` distances (same left-to-right
+    IEEE sums) and bit-identical to the numpy batched relaxation
+    (``np_flat_source_stats``) under the PR 7 fixpoint argument.
+    """
+    n = flat.n
+    if not 0 <= source < n:
+        raise IndexError(f"source index {source} out of range 0..{n - 1}")
+    indptr = flat.indptr
+    indices = flat.indices
+    weights = flat.weights
+    push = heapq.heappush
+    pop = heapq.heappop
+    dist = [_INF] * n
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = pop(heap)
+        if d > dist[u]:
+            continue
+        for j in range(indptr[u], indptr[u + 1]):
+            v = indices[j]
+            nd = d + weights[j]
+            if nd < dist[v]:
+                dist[v] = nd
+                push(heap, (nd, v))
+    return array("d", dist)
+
+
+def flat_source_stats(flat: FlatGraph, lo: int, hi: int) -> dict[str, Any]:
+    """Per-source sweep stats over sources ``lo..hi-1`` (pure Python).
+
+    For each source runs one Dijkstra and folds the row into three
+    aggregates — the sweep's row payload stays O(1) no matter how large
+    the graph is (the aggregates-only discipline the big tier needs):
+
+    * ``reach_min`` — the fewest vertices any source reached;
+    * ``ecc_max`` — the largest eccentricity (``inf`` once any source
+      fails to reach the whole graph);
+    * ``digest`` — 16-hex sha256 over the concatenated float64 distance
+      rows, byte-for-byte.  This is the identity anchor: the numpy
+      variant hashes the same bytes, so serial python == pooled numpy
+      digests prove value equality without shipping any distances.
+    """
+    n = flat.n
+    if not 0 <= lo <= hi <= n:
+        raise IndexError(f"source range [{lo}, {hi}) out of bounds 0..{n}")
+    indptr = flat.indptr
+    indices = flat.indices
+    weights = flat.weights
+    push = heapq.heappush
+    pop = heapq.heappop
+    h = hashlib.sha256()
+    dist: list[float] = [_INF] * n
+    ecc_max = 0.0
+    reach_min = n if hi > lo else 0
+    for s in range(lo, hi):
+        touched = [s]
+        touch = touched.append
+        dist[s] = 0.0
+        far = 0.0
+        heap: list[tuple[float, int]] = [(0.0, s)]
+        while heap:
+            d, u = pop(heap)
+            if d > dist[u]:
+                continue
+            far = d  # pops are monotone: the last settled d is the ecc
+            for j in range(indptr[u], indptr[u + 1]):
+                v = indices[j]
+                nd = d + weights[j]
+                dv = dist[v]
+                if nd < dv:
+                    if dv == _INF:
+                        touch(v)
+                    dist[v] = nd
+                    push(heap, (nd, v))
+        reach = len(touched)
+        ecc = far if reach == n else _INF
+        if ecc > ecc_max:
+            ecc_max = ecc
+        if reach < reach_min:
+            reach_min = reach
+        h.update(array("d", dist).tobytes())
+        for i in touched:
+            dist[i] = _INF
+    return {
+        "kind": "sources",
+        "lo": lo,
+        "hi": hi,
+        "sources": hi - lo,
+        "reach_min": reach_min,
+        "ecc_max": ecc_max,
+        "digest": h.hexdigest()[:16],
+    }
+
+
+def flat_stripe_stats(flat: FlatGraph, lo: int, hi: int) -> dict[str, Any]:
+    """Local adjacency stats for the vertex stripe ``lo..hi-1``.
+
+    O(stripe edges), zero-copy: reads the three buffers directly (byte
+    slices feed the digest, a typed view feeds the float accumulators)
+    and never materializes per-vertex structures.  Backend-independent by
+    construction — there is nothing to vectorize, the cost *is* the read
+    — so stripe sweeps exercise pure snapshot-attachment overhead, which
+    is what the one-build-per-sweep acceptance counter measures.
+    """
+    n = flat.n
+    if not 0 <= lo <= hi <= n:
+        raise IndexError(f"vertex range [{lo}, {hi}) out of bounds 0..{n}")
+    indptr = flat.indptr
+    j0 = int(indptr[lo])
+    j1 = int(indptr[hi])
+    ipb, idb, wb = flat.buffers()
+    h = hashlib.sha256()
+    h.update(ipb[8 * lo:8 * (hi + 1)])
+    h.update(idb[8 * j0:8 * j1])
+    h.update(wb[8 * j0:8 * j1])
+    wmax = 0.0
+    wsum = 0.0
+    wview = memoryview(flat.weights)
+    for w in wview[j0:j1]:
+        wsum += w
+        if w > wmax:
+            wmax = w
+    return {
+        "kind": "stripe",
+        "lo": lo,
+        "hi": hi,
+        "verts": hi - lo,
+        "edges": j1 - j0,
+        "wmax": wmax,
+        "wsum": wsum,
+        "digest": h.hexdigest()[:16],
+    }

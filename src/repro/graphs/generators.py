@@ -10,7 +10,9 @@ standard workloads (random connected graphs, grids, rings) and the
 from __future__ import annotations
 
 import random
+from array import array
 
+from .csr import FlatGraph, edges_to_flat
 from .weighted_graph import WeightedGraph
 
 __all__ = [
@@ -28,6 +30,9 @@ __all__ = [
     "lower_bound_split_graph",
     "heavy_edge_clock_graph",
     "spoke_graph",
+    "lower_bound_flat",
+    "lower_bound_split_flat",
+    "random_connected_flat",
 ]
 
 
@@ -248,3 +253,175 @@ def caterpillar_graph(spine: int, legs: int, spine_weight: float = 1.0,
         for j in range(legs):
             g.add_edge(i, ("leg", i, j), leg_weight)
     return g
+
+
+# --------------------------------------------------------------------- #
+# Streaming direct-to-CSR builders (the n = 10^5..10^6 tier)
+# --------------------------------------------------------------------- #
+#
+# The dict-of-dicts WeightedGraph costs hundreds of bytes per edge (boxed
+# keys, two nested dicts); at n = 10^6 the lower-bound family would need
+# tens of gigabytes before a single kernel runs.  The builders below emit
+# the same graphs straight into FlatGraph's three flat buffers — ~48
+# bytes per edge, one pass — and are *byte-identical* to converting the
+# dict build (`flat_of(csr_of(gen(...)))`): same dense indexing (vertex
+# insertion order), same adjacency order (edge insertion order, which
+# edges_to_flat's counting placement replays), same weight floats.
+# tests/test_flat_stream.py pins the equivalence at dict-friendly sizes.
+
+
+def _lower_bound_x(n: int, heavy: float | None) -> float:
+    if n < 4:
+        raise ValueError("G_n needs n >= 4")
+    x = float(n + 1) if heavy is None else heavy
+    if x <= n:
+        raise ValueError("X must exceed n")
+    return x
+
+
+def lower_bound_flat(
+    n: int,
+    heavy: float | None = None,
+    *,
+    use_numpy: bool | None = None,
+) -> FlatGraph:
+    """``G_n`` (Section 7.1 / Figure 7) streamed straight into flat buffers.
+
+    Byte-identical to ``flat_of(csr_of(lower_bound_graph(n, heavy)))``:
+    vertices 1..n intern to dense indices 0..n-1, path edges come first
+    in index order, bypass edges follow in increasing ``i``.  The dict
+    builder's ``has_edge`` guard is replayed arithmetically: bypass pairs
+    ``(i, n+1-i)`` are pairwise distinct and only ever collide with a
+    path edge when ``n+1-i == i+1``, so the two index checks are the
+    whole predicate.
+    """
+    x = _lower_bound_x(n, heavy)
+    x4 = x**4
+    us = array("q", range(n - 1))
+    vs = array("q", range(1, n))
+    ws = array("d", [x]) * (n - 1)
+    for i in range(1, (n + 1) // 2):
+        j = n + 1 - i
+        if j != i and j != i + 1:
+            us.append(i - 1)
+            vs.append(j - 1)
+            ws.append(x4)
+    return edges_to_flat(
+        n, us, vs, ws,
+        integral=x == int(x),
+        wmax=x4 if len(ws) > n - 1 else x,
+        spec=("lower_bound", n, heavy),
+        use_numpy=use_numpy,
+    )
+
+
+def lower_bound_split_flat(
+    n: int,
+    i: int,
+    heavy: float | None = None,
+    *,
+    use_numpy: bool | None = None,
+) -> FlatGraph:
+    """``G_n^i`` (Lemma 7.1 / Figure 8) streamed into flat buffers.
+
+    Byte-identical to the dict construction: deleting the bypass edge
+    ``(i, n+1-i)`` from a dict preserves the order of every remaining
+    neighbor, so *never emitting it* yields the same adjacency order; the
+    two pendant vertices are interned last (dense indices ``n`` and
+    ``n+1``) and their edges appended last, exactly as ``add_edge`` does.
+    """
+    if not 1 <= i < (n + 1) / 2:
+        raise ValueError(f"need 1 <= i < n/2, got i={i}")
+    x = _lower_bound_x(n, heavy)
+    x4 = x**4
+    j = n + 1 - i
+    us = array("q", range(n - 1))
+    vs = array("q", range(1, n))
+    ws = array("d", [x]) * (n - 1)
+    for b in range(1, (n + 1) // 2):
+        jb = n + 1 - b
+        if jb != b and jb != b + 1 and b != i:
+            us.append(b - 1)
+            vs.append(jb - 1)
+            ws.append(x4)
+    us.append(i - 1)
+    vs.append(n)  # ('v', i) interns after 1..n
+    ws.append(x4)
+    us.append(j - 1)
+    vs.append(n + 1)  # ('w', i) interns last
+    ws.append(x4)
+    return edges_to_flat(
+        n + 2, us, vs, ws,
+        integral=x == int(x),
+        wmax=x4,
+        spec=("lower_bound_split", n, i, heavy),
+        use_numpy=use_numpy,
+    )
+
+
+def random_connected_flat(
+    n: int,
+    extra_edges: int,
+    *,
+    seed: int = 0,
+    max_weight: float = 10.0,
+    rng: random.Random | None = None,
+    use_numpy: bool | None = None,
+) -> FlatGraph:
+    """:func:`random_connected_graph` streamed into flat buffers.
+
+    Replays the dict builder's RNG consumption draw-for-draw — tree
+    parent + weight per vertex, then endpoint pairs with a weight drawn
+    *only* for accepted chords — so the same ``seed`` yields the same
+    graph whether built here or through the dict path (pinned by
+    tests/test_flat_stream.py).  ``has_edge`` is replayed with a packed
+    ``min*n + max`` edge set.
+    """
+    from_seed = rng is None
+    if rng is None:
+        rng = random.Random(seed)
+    mw = int(max_weight)
+    us = array("q")
+    vs = array("q")
+    ws = array("d")
+    edge_set: set[int] = set()
+    wmax = 0
+    for v in range(1, n):
+        u = rng.randrange(v)
+        w = rng.randint(1, mw)
+        us.append(u)
+        vs.append(v)
+        ws.append(w)
+        edge_set.add(u * n + v)  # tree parents satisfy u < v
+        if w > wmax:
+            wmax = w
+    attempts = 0
+    added = 0
+    max_possible = n * (n - 1) // 2 - (n - 1)
+    target = min(extra_edges, max_possible)
+    while added < target and attempts < 50 * (target + 1):
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            key = u * n + v if u < v else v * n + u
+            if key not in edge_set:
+                w = rng.randint(1, mw)
+                us.append(u)
+                vs.append(v)
+                ws.append(w)
+                edge_set.add(key)
+                added += 1
+                if w > wmax:
+                    wmax = w
+    spec = (
+        ("random_connected", n, extra_edges, seed, max_weight)
+        if from_seed else None
+    )
+    return edges_to_flat(
+        n, us, vs, ws,
+        integral=True,
+        wmax=float(wmax),
+        spec=spec,
+        use_numpy=use_numpy,
+    )

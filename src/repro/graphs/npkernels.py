@@ -68,10 +68,11 @@ versus float reprs.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import Any
 
-from .csr import CSRGraph, GraphScan
+from .csr import CSRGraph, FlatGraph, GraphScan
 from .weighted_graph import WeightedGraph
 
 __all__ = [
@@ -83,6 +84,9 @@ __all__ = [
     "backend_info",
     "NPGraph",
     "np_graph_of",
+    "NPFlat",
+    "np_flat_of",
+    "np_flat_source_stats",
     "np_all_sources_scan",
     "np_sssp_dist",
     "np_delay_propagation",
@@ -279,6 +283,105 @@ def np_graph_of(graph: WeightedGraph) -> NPGraph:
     return param_cache(graph).npg()
 
 
+class NPFlat:
+    """NumPy view of a :class:`~repro.graphs.csr.FlatGraph` snapshot.
+
+    Mirrors exactly the :class:`NPGraph` attributes the batched
+    relaxation kernel reads, built **zero-copy**: ``np.frombuffer`` over
+    the flat buffers, which may live in a shared-memory segment — the
+    whole point of the big tier is that this constructor touches no graph
+    bytes.  Only the derived sentinel pad and degree arrays allocate
+    (O(m) int64, built once per process per snapshot via
+    :func:`np_flat_of`'s memo on ``FlatGraph.np_cache``).
+    """
+
+    __slots__ = (
+        "n", "m2", "indptr", "indices", "indices_pad", "weights",
+        "iweights", "deg", "use_int", "int_bound",
+    )
+
+    def __init__(self, flat: FlatGraph) -> None:
+        np = _require_numpy()
+        self.n = flat.n
+        self.indptr = np.frombuffer(flat.indptr, dtype=np.int64)
+        self.indices = np.frombuffer(flat.indices, dtype=np.int64)
+        self.weights = np.frombuffer(flat.weights, dtype=np.float64)
+        self.m2 = int(self.indices.shape[0])
+        self.indices_pad = np.append(self.indices, 0)
+        self.deg = np.diff(self.indptr)
+        # Same exact-integer gate as NPGraph, in exact int arithmetic
+        # (float wmax is integer-valued whenever `integral` is set).
+        bound = max(1, (flat.n - 1) * int(flat.wmax) + 1) if flat.n else 1
+        self.use_int = flat.integral and bound < _EXACT_INT_BOUND
+        self.int_bound = int(bound) if self.use_int else 0
+        self.iweights = (
+            self.weights.astype(np.int64) if self.use_int else None
+        )
+
+    def __repr__(self) -> str:
+        return f"NPFlat(n={self.n}, m={self.m2 // 2}, int={self.use_int})"
+
+
+def np_flat_of(flat: FlatGraph) -> NPFlat:
+    """The memoized :class:`NPFlat` view of ``flat`` (built on first use)."""
+    cached = flat.np_cache
+    if cached is None:
+        cached = NPFlat(flat)
+        flat.np_cache = cached
+    return cached
+
+
+def np_flat_source_stats(flat: FlatGraph, lo: int, hi: int) -> dict[str, Any]:
+    """Batched per-source sweep stats; byte-identical to the Python kernel.
+
+    Runs the blocked fixpoint relaxation (:func:`_dist_rows`) over the
+    source range and folds each row into the same three aggregates as
+    :func:`repro.graphs.csr.flat_source_stats` — including the sha256
+    digest over the float64 distance bytes, which match the heap
+    Dijkstra's bit-for-bit (exact int64 below 2**53, float least-fixpoint
+    above; see the module docstring's identity contract).
+    """
+    np = _require_numpy()
+    n = flat.n
+    if not 0 <= lo <= hi <= n:
+        raise IndexError(f"source range [{lo}, {hi}) out of bounds 0..{n}")
+    npf = np_flat_of(flat)
+    h = hashlib.sha256()
+    ecc_max = 0.0
+    reach_min = n if hi > lo else 0
+    block = max(1, _SCAN_BLOCK_ELEMS // max(n, npf.m2, 1))
+    for blo in range(lo, hi, block):
+        bhi = min(hi, blo + block)
+        dist = _dist_rows(npf, blo, bhi)
+        if npf.use_int:
+            finite = dist < npf.int_bound
+            rows = dist.astype(np.float64)
+            rows[~finite] = np.inf
+        else:
+            finite = dist < np.inf
+            rows = dist
+        reach = finite.sum(axis=1)
+        block_reach_min = int(reach.min())
+        if block_reach_min < reach_min:
+            reach_min = block_reach_min
+        # ecc per row: the max finite distance when everything was
+        # reached, else inf — rows.max() is exactly that, because a row
+        # with any unreached vertex maxes to the inf sentinel itself.
+        block_ecc = float(rows.max())
+        if block_ecc > ecc_max:
+            ecc_max = block_ecc
+        h.update(np.ascontiguousarray(rows).tobytes())
+    return {
+        "kind": "sources",
+        "lo": lo,
+        "hi": hi,
+        "sources": hi - lo,
+        "reach_min": reach_min,
+        "ecc_max": ecc_max,
+        "digest": h.hexdigest()[:16],
+    }
+
+
 # --------------------------------------------------------------------- #
 # Batched shortest-path relaxation
 # --------------------------------------------------------------------- #
@@ -288,7 +391,7 @@ def np_graph_of(graph: WeightedGraph) -> NPGraph:
 _SCAN_BLOCK_ELEMS = 1 << 22
 
 
-def _dist_rows(npg: NPGraph, lo: int, hi: int) -> Any:
+def _dist_rows(npg: NPGraph | NPFlat, lo: int, hi: int) -> Any:
     """Shortest-path distances from sources ``lo..hi-1`` as a 2-D array.
 
     Frontier-at-a-time array relaxation: each round gathers every

@@ -26,6 +26,7 @@ Three output forms, all dependency-free:
 from __future__ import annotations
 
 import json
+import math
 from typing import Any
 
 __all__ = [
@@ -43,9 +44,14 @@ def jsonable(value: Any) -> Any:
     Primitives pass through, tuples/lists/dicts recurse, anything else
     becomes its ``repr`` — node ids in this codebase are ints or strings,
     but protocols are free to use richer payload/detail objects.
+    Non-finite floats become their ``repr`` strings (``"inf"``/``"nan"``):
+    strict JSON has no literal for them, and the big bench tier's
+    eccentricity aggregates are legitimately infinite on split graphs.
     """
-    if value is None or isinstance(value, (bool, int, float, str)):
+    if value is None or isinstance(value, (bool, int, str)):
         return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
     if isinstance(value, (list, tuple)):
         return [jsonable(v) for v in value]
     if isinstance(value, dict):
