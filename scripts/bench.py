@@ -31,7 +31,11 @@ revision leaves a comparable perf record:
    ways: no recorder at all, a disabled :class:`repro.obs.NullRecorder`
    (the "tracing compiled out" path — must stay within 2% of untraced),
    and a full :class:`repro.obs.TraceRecorder` capturing every event.
-6. **Big tier** (``--big``) — the paper's graph families streamed
+6. **Serve tier** — the ``repro.serve`` content-addressed cache: a
+   pinned chaos-request mix served cold then warm (cache-hit speedup is
+   a hard >= 5x gate), plus 8 simultaneous duplicates coalesced onto one
+   execution with *exact* ServeStats accounting asserted.
+7. **Big tier** (``--big``) — the paper's graph families streamed
    directly into flat buffers at n = 10^5..10^6 (10^4 with ``--quick``),
    published once into shared memory and swept zero-copy through the
    pool: stripe and per-source sweeps with serial == pool identity,
@@ -612,6 +616,82 @@ def bench_tracing(reps: int, quick: bool) -> dict:
     }
 
 
+def bench_serve(jobs: int, quick: bool) -> dict:
+    """The serve tier: content-addressed cache vs re-execution.
+
+    One in-process :class:`repro.serve.ServeClient` over a fresh
+    persistent store serves a pinned mix of chaos requests cold, then the
+    identical mix again (pure cache hits), then 8 simultaneous duplicates
+    of a new request (single-flight coalescing).  ServeStats counts are
+    asserted *exactly* — the dedupe ledger is the result — and the
+    cache-hit speedup is a hard >= 5x acceptance gate, enforced in
+    ``main`` alongside the row-identity gates.
+    """
+    import tempfile
+
+    from repro.serve import ServeClient, payload_bytes
+
+    if quick:
+        protos, n, extra = ("broadcast", "dfs"), 12, 18
+    else:
+        protos, n, extra = ("broadcast", "convergecast", "dfs", "mst_ghs"), 12, 18
+    mix = [
+        {"kind": "chaos", "protocol": p, "n": n, "extra_edges": extra,
+         "graph_seed": gs, "drop": drop, "backend": "python"}
+        for p in protos
+        for gs, drop in ((2, 0.0), (3, 0.2))
+    ]
+    fanout = 8
+    straggler = {"kind": "chaos", "protocol": protos[0], "n": n,
+                 "extra_edges": extra, "graph_seed": 5, "drop": 0.1,
+                 "backend": "python"}
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as root:
+        with ServeClient(cache_dir=root, jobs=jobs) as client:
+            t0 = time.perf_counter()
+            cold = [client.request(r) for r in mix]
+            cold_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            warm = [client.request(r) for r in mix]
+            warm_s = time.perf_counter() - t0
+
+            identical = all(
+                payload_bytes(c["payload"]) == payload_bytes(w["payload"])
+                and c["payload_sha"] == w["payload_sha"]
+                for c, w in zip(cold, warm)
+            )
+
+            t0 = time.perf_counter()
+            dup = client.request_many([dict(straggler)] * fanout)
+            coalesce_s = time.perf_counter() - t0
+            stats = client.stats()
+
+    sources = sorted(r["source"] for r in dup)
+    coalesced_ok = sources == ["coalesced"] * (fanout - 1) + ["executed"]
+    expected = {"hits": len(mix), "misses": len(mix) + 1,
+                "coalesced": fanout - 1}
+    counts_exact = all(stats[k] == v for k, v in expected.items())
+    hit_speedup = cold_s / warm_s if warm_s else float("inf")
+    return {
+        "requests": len(mix),
+        "jobs": jobs,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_rps": len(mix) / cold_s,
+        "warm_rps": len(mix) / warm_s,
+        "hit_speedup": hit_speedup,
+        "coalesce": {"fanout": fanout, "wall_s": coalesce_s,
+                     "sources_exact": coalesced_ok},
+        "stats": {k: stats[k] for k in
+                  ("hits", "misses", "coalesced", "rejected", "errors",
+                   "p50_ms", "p99_ms")},
+        "expected": expected,
+        "counts_exact": counts_exact,
+        "identical": identical,
+    }
+
+
 def _legacy_pool_map(fn, cells, jobs):
     """The pre-optimization parallel path: a fresh executor per call,
     chunksize 1, no worker warm-up — every call re-pays pool spin-up and
@@ -918,6 +998,11 @@ def comparable_metrics(report: dict) -> dict:
     tr = report.get("tracing", {})
     if "disabled_ratio" in tr:
         m["tracing/disabled_ratio"] = tr["disabled_ratio"]
+    sv = report.get("serve", {})
+    if "hit_speedup" in sv:
+        m["serve/hit_speedup"] = sv["hit_speedup"]
+    if "warm_rps" in sv:
+        m["serve/warm_rps"] = sv["warm_rps"]
     big = report.get("big_tier", {})
     rand = big.get("random", {})
     # Only the random family's stripe throughput gates: its per-cell cost
@@ -1022,6 +1107,7 @@ def main(argv: list[str] | None = None) -> int:
         "network": bench_network(reps, args.quick),
         "chaos_sweep": bench_chaos_sweep(args.jobs, args.quick),
         "tracing": bench_tracing(reps, args.quick),
+        "serve": bench_serve(args.jobs, args.quick),
     }
     if args.big:
         report["big_tier"] = bench_big(args.jobs, args.quick)
@@ -1073,6 +1159,12 @@ def main(argv: list[str] | None = None) -> int:
           f"recording {tr['recording_s'] * 1e3:.2f}ms "
           f"({tr['recording_overhead_pct']:+.2f}%, "
           f"{tr['trace_events']} events)")
+    sv = report["serve"]
+    print(f"serve: {sv['requests']} requests, cold {sv['cold_s']:.2f}s "
+          f"({sv['cold_rps']:.1f}/s), warm {sv['warm_s'] * 1e3:.1f}ms "
+          f"({sv['warm_rps']:,.0f}/s), hit speedup x{sv['hit_speedup']:.1f}, "
+          f"coalesce {sv['coalesce']['fanout']} dup -> 1 exec, "
+          f"counts_exact={sv['counts_exact']}, identical={sv['identical']}")
     if args.big:
         big = report["big_tier"]
         for fam in ("lower_bound", "split", "random"):
@@ -1099,6 +1191,15 @@ def main(argv: list[str] | None = None) -> int:
 
     if not cs["identical"]:
         print("FATAL: parallel sweep rows differ from serial", file=sys.stderr)
+        return 1
+    if not (sv["identical"] and sv["counts_exact"]
+            and sv["coalesce"]["sources_exact"]):
+        print("FATAL: serve tier broke cache identity or exact dedupe counts",
+              file=sys.stderr)
+        return 1
+    if sv["hit_speedup"] < 5.0:
+        print(f"FATAL: serve cache-hit speedup x{sv['hit_speedup']:.1f} "
+              f"below the 5x floor", file=sys.stderr)
         return 1
     if args.big:
         big = report["big_tier"]

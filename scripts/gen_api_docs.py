@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.analysis",
     "repro.replay",
+    "repro.serve",
 ]
 
 

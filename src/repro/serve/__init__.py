@@ -1,0 +1,67 @@
+"""repro.serve — simulation-as-a-service over the deterministic engine.
+
+The repo's sweep engine is a pure function: every result is fully
+determined by ``(graph fingerprint or generator spec, FaultPlan, seeds,
+protocol, kernel backend, limit/race flags)``.  That purity — enforced
+byte-for-byte by the serial==pool identity tests and the replay corpus —
+makes every result *immutable* and therefore infinitely cacheable.  This
+subsystem turns that property into a service:
+
+* :mod:`~repro.serve.address` canonicalizes a JSON request (defaults
+  filled, key order erased, generator specs normalized) and derives a
+  SHA-256 **content address** for it;
+* :mod:`~repro.serve.store` is a persistent on-disk content-addressed
+  result store with integrity re-verification on every read and
+  deterministic FIFO eviction;
+* :class:`~repro.serve.service.ServeService` is the asyncio core:
+  cache lookup, **single-flight** dedupe of identical in-flight
+  requests, capacity-limited admission, and fan-out of cold requests to
+  the persistent process pool (:mod:`repro.experiments.parallel`) with
+  batched dispatch of small cells;
+* :class:`~repro.serve.server.ServeServer` speaks a JSON-lines protocol
+  over TCP (``python -m repro.serve``), streaming rows/trace chunks back
+  as JSONL;
+* :class:`~repro.serve.client.ServeClient` is the in-process client the
+  tests and benches drive (plus :class:`~repro.serve.client.TCPServeClient`
+  for the wire protocol);
+* :class:`~repro.serve.stats.ServeStats` counts hits, misses,
+  single-flight coalesces, evictions, queue depth and p50/p99 service
+  time — the requests/sec instrumentation the bench gates on.
+
+The cache is correct *because* the engine is deterministic: a cached
+response is byte-identical to re-execution (asserted per request kind in
+``tests/test_serve_service.py``), and cached traces still pass
+:func:`repro.replay.verify_trace`.
+"""
+
+from .address import (
+    RequestError,
+    SCHEMA_VERSION,
+    canonical_request,
+    payload_bytes,
+    payload_sha,
+    request_address,
+)
+from .client import ServeClient, TCPServeClient
+from .executor import execute_request
+from .server import ServeServer
+from .service import ServeError, ServeService
+from .stats import ServeStats
+from .store import ResultStore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RequestError",
+    "ServeError",
+    "ServeClient",
+    "TCPServeClient",
+    "ServeServer",
+    "ServeService",
+    "ServeStats",
+    "ResultStore",
+    "canonical_request",
+    "execute_request",
+    "payload_bytes",
+    "payload_sha",
+    "request_address",
+]

@@ -1,0 +1,79 @@
+"""CLI: ``python -m repro.serve`` — run the simulation service.
+
+Examples::
+
+    python -m repro.serve --port 7710 --cache-dir .serve-cache --jobs 4
+    python -m repro.serve --port 0            # ephemeral port, printed
+
+The server announces ``repro.serve listening on HOST:PORT`` on stdout
+once bound (machine-parsable: the smoke harness reads it), serves until
+SIGINT/SIGTERM, then shuts down gracefully — drain in-flight jobs,
+tear down the pool, unlink shared memory — and prints the final stats
+block as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import signal
+import sys
+
+from .server import ServeServer
+from .service import ServeService
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve sweep/chaos/snapshot/trace requests over JSONL/TCP "
+                    "with a content-addressed result cache.",
+    )
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=7710,
+                    help="TCP port (0 = ephemeral, printed on startup)")
+    ap.add_argument("--cache-dir", default=None,
+                    help="persistent result store root (default: in-memory)")
+    ap.add_argument("--jobs", type=int, default=None,
+                    help="pool workers for cold requests (default: serial)")
+    ap.add_argument("--max-entries", type=int, default=None,
+                    help="store capacity in entries (FIFO eviction)")
+    ap.add_argument("--max-bytes", type=int, default=None,
+                    help="store capacity in bytes (FIFO eviction)")
+    ap.add_argument("--max-pending", type=int, default=128,
+                    help="admission limit on concurrent requests")
+    return ap.parse_args(argv)
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    service = ServeService(
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        max_pending=args.max_pending,
+    )
+    server = ServeServer(service, host=args.host, port=args.port)
+    host, port = await server.start()
+    print(f"repro.serve listening on {host}:{port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):  # non-POSIX loops
+            loop.add_signal_handler(sig, stop.set)
+    await stop.wait()
+    print("repro.serve: draining and shutting down", flush=True)
+    await server.close()
+    print(json.dumps(service.stats_snapshot(), sort_keys=True), flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    return asyncio.run(_amain(_parse_args(argv)))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""JSON-lines TCP front-end for :class:`~repro.serve.service.ServeService`.
+
+Wire protocol (newline-delimited JSON, UTF-8, one request at a time per
+connection):
+
+* client sends one line: either a request dict (see
+  :mod:`repro.serve.address`) or an op — ``{"op": "stats"}`` /
+  ``{"op": "ping"}``;
+* the server streams the response as JSONL chunks::
+
+      {"type": "meta", "address": ..., "kind": ..., "source": ..., "cached": ...}
+      {"type": "row", "i": 0, "data": {...}}        # row-list payloads
+      {"type": "chunk", "data": "..."}              # string (trace) payloads
+      {"type": "end", "payload_sha": ..., "rows": N, "chunks": N}
+
+  or a single ``{"type": "error", "error": "..."}`` line; ops answer with
+  one ``{"type": "stats"|"pong", ...}`` line.
+
+Rows stream as they are written, so a million-row sweep response never
+materializes twice server-side; trace documents chunk at a fixed size.
+Malformed JSON or oversized request lines produce an error line, never a
+dead connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from .address import RequestError
+from .service import ServeError, ServeService
+
+__all__ = ["ServeServer", "CHUNK_CHARS", "MAX_REQUEST_BYTES"]
+
+#: Trace payloads stream in chunks of this many characters.
+CHUNK_CHARS = 32768
+
+#: Upper bound on one request line (a request is a few hundred bytes of
+#: knobs; anything bigger is a client bug, not a workload).
+MAX_REQUEST_BYTES = 1 << 20
+
+
+def _line(doc: dict) -> bytes:
+    return (json.dumps(doc, sort_keys=True) + "\n").encode()
+
+
+class ServeServer:
+    """Asyncio TCP server wrapping one :class:`ServeService`."""
+
+    def __init__(self, service: ServeService, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``
+        (``port=0`` requests an ephemeral port)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port,
+            limit=MAX_REQUEST_BYTES,
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Graceful stop: refuse new connections, drain the service (all
+        in-flight jobs finish), then tear the pool down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.shutdown()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(_line({"type": "error",
+                                        "error": "request line too long"}))
+                    break
+                if not raw:
+                    break
+                try:
+                    request = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    writer.write(_line({"type": "error",
+                                        "error": f"bad JSON: {exc}"}))
+                    await writer.drain()
+                    continue
+                if not isinstance(request, dict):
+                    writer.write(_line({"type": "error",
+                                        "error": "request must be an object"}))
+                    await writer.drain()
+                    continue
+                if "op" in request:
+                    await self._handle_op(request, writer)
+                else:
+                    await self._handle_request(request, writer)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-response; nothing to salvage
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _handle_op(self, request: dict,
+                         writer: asyncio.StreamWriter) -> None:
+        op = request.get("op")
+        if op == "stats":
+            writer.write(_line({"type": "stats",
+                                "stats": self.service.stats_snapshot()}))
+        elif op == "ping":
+            writer.write(_line({"type": "pong",
+                                "closing": self.service.closing}))
+        else:
+            writer.write(_line({"type": "error",
+                                "error": f"unknown op {op!r}"}))
+
+    async def _handle_request(self, request: dict,
+                              writer: asyncio.StreamWriter) -> None:
+        try:
+            response = await self.service.submit(request)
+        except (RequestError, ServeError) as exc:
+            writer.write(_line({"type": "error",
+                                "error": str(exc),
+                                "error_kind": type(exc).__name__}))
+            return
+        writer.write(_line({
+            "type": "meta",
+            "address": response["address"],
+            "kind": response["kind"],
+            "source": response["source"],
+            "cached": response["cached"],
+        }))
+        payload = response["payload"]
+        rows = chunks = 0
+        if isinstance(payload, list):
+            for i, row in enumerate(payload):
+                writer.write(_line({"type": "row", "i": i, "data": row}))
+                rows += 1
+                if rows % 256 == 0:
+                    await writer.drain()  # stream, don't buffer the sweep
+        elif isinstance(payload, str):
+            for lo in range(0, len(payload), CHUNK_CHARS):
+                writer.write(_line({"type": "chunk",
+                                    "data": payload[lo:lo + CHUNK_CHARS]}))
+                chunks += 1
+                await writer.drain()
+        else:
+            writer.write(_line({"type": "row", "i": 0, "data": payload}))
+            rows = 1
+        writer.write(_line({"type": "end",
+                            "payload_sha": response["payload_sha"],
+                            "rows": rows, "chunks": chunks}))

@@ -1,0 +1,215 @@
+"""Persistent content-addressed result store (CAS) with integrity checks.
+
+Layout under the store root::
+
+    objects/<aa>/<address>.json   # one envelope per result
+    index.jsonl                   # append-only put/del journal
+
+The envelope records the canonical request, the payload, and the
+payload's SHA-256; :meth:`ResultStore.get` *re-verifies* that digest on
+every read and treats a mismatch as a miss (the corrupt entry is dropped
+and the request re-executes) — a cache over immutable results must never
+serve bytes it cannot prove are the bytes it stored.
+
+The journal makes eviction deterministic: entries are evicted strictly
+in insertion (FIFO) order when ``max_entries`` or ``max_bytes`` is
+exceeded.  FIFO rather than LRU is deliberate — recency updates would
+make the on-disk state depend on read traffic, and replaying the journal
+would no longer reconstruct the same eviction order on every host.
+
+With ``root=None`` the store is memory-only (same semantics, nothing
+persisted) — the shape the coalescing benches use when disk is noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from .address import payload_sha
+
+__all__ = ["ResultStore"]
+
+_ENVELOPE_VERSION = 1
+
+
+class ResultStore:
+    """Content-addressed result cache keyed by request address."""
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.root = None if root is None else Path(root)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        # address -> entry size in bytes, in insertion order (dicts
+        # preserve it); the eviction queue and the byte ledger in one.
+        self._entries: dict[str, int] = {}
+        self._memory: dict[str, dict] = {}
+        self.puts = 0
+        self.gets = 0
+        self.evictions = 0
+        self.integrity_failures = 0
+        if self.root is not None:
+            (self.root / "objects").mkdir(parents=True, exist_ok=True)
+            self._replay_index()
+
+    # ------------------------------------------------------------------ #
+    # Index journal
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _index_path(self) -> Path:
+        assert self.root is not None
+        return self.root / "index.jsonl"
+
+    def _replay_index(self) -> None:
+        """Rebuild the in-memory ledger from the journal, dropping entries
+        whose object file has vanished (a deleted file is just a miss)."""
+        if not self._index_path.exists():
+            return
+        for line in self._index_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                op = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final line from a crashed writer
+            addr = op.get("address")
+            if op.get("op") == "put" and isinstance(addr, str):
+                self._entries[addr] = int(op.get("nbytes", 0))
+            elif op.get("op") == "del" and addr in self._entries:
+                del self._entries[addr]
+        for addr in [a for a in self._entries if not self._object_path(a).exists()]:
+            del self._entries[addr]
+
+    def _journal(self, op: str, address: str, nbytes: int = 0) -> None:
+        if self.root is None:
+            return
+        with open(self._index_path, "a") as fh:
+            fh.write(json.dumps({"op": op, "address": address,
+                                 "nbytes": nbytes},
+                                sort_keys=True) + "\n")
+
+    def _object_path(self, address: str) -> Path:
+        assert self.root is not None
+        return self.root / "objects" / address[:2] / f"{address}.json"
+
+    # ------------------------------------------------------------------ #
+    # Store surface
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._entries
+
+    @property
+    def nbytes(self) -> int:
+        """Total stored payload envelope bytes (the eviction ledger)."""
+        return sum(self._entries.values())
+
+    def put(self, address: str, canon: dict, payload: Any) -> dict:
+        """Store one result; returns its envelope.  Idempotent per address
+        (immutable content: a re-put of the same address is a no-op that
+        returns the stored envelope)."""
+        if address in self._entries:
+            existing = self.get(address)
+            if existing is not None:
+                return existing
+            # fell through: the stored copy was corrupt and dropped.
+        envelope = {
+            "v": _ENVELOPE_VERSION,
+            "address": address,
+            "kind": canon.get("kind"),
+            "request": canon,
+            "payload_sha": payload_sha(payload),
+            "payload": payload,
+        }
+        data = json.dumps(envelope, sort_keys=True)
+        if self.root is not None:
+            path = self._object_path(address)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(data)
+            os.replace(tmp, path)  # atomic: readers never see a torn entry
+        else:
+            self._memory[address] = json.loads(data)
+        self._entries[address] = len(data)
+        self._journal("put", address, len(data))
+        self.puts += 1
+        self._evict_over_capacity()
+        return envelope
+
+    def get(self, address: str) -> dict | None:
+        """Fetch one envelope, re-verifying payload integrity.
+
+        Returns ``None`` on miss *and* on any failed verification —
+        unreadable file, address mismatch, payload digest mismatch — after
+        dropping the bad entry, so a corrupt cache degrades to re-execution
+        instead of serving damaged results.
+        """
+        self.gets += 1
+        if address not in self._entries:
+            return None
+        if self.root is None:
+            envelope = self._memory.get(address)
+        else:
+            try:
+                envelope = json.loads(self._object_path(address).read_text())
+            except (OSError, json.JSONDecodeError):
+                envelope = None
+        if (
+            envelope is None
+            or envelope.get("address") != address
+            or envelope.get("payload_sha") != payload_sha(envelope.get("payload"))
+        ):
+            self.integrity_failures += 1
+            self._drop(address)
+            return None
+        return envelope
+
+    def _drop(self, address: str) -> None:
+        self._entries.pop(address, None)
+        self._memory.pop(address, None)
+        if self.root is not None:
+            try:
+                self._object_path(address).unlink()
+            except OSError:
+                pass
+        self._journal("del", address)
+
+    def _evict_over_capacity(self) -> None:
+        """Evict oldest-first until both capacity bounds hold (an entry
+        larger than ``max_bytes`` on its own still leaves one entry)."""
+        while self._entries and (
+            (self.max_entries is not None and len(self._entries) > self.max_entries)
+            or (self.max_bytes is not None and len(self._entries) > 1
+                and self.nbytes > self.max_bytes)
+        ):
+            oldest = next(iter(self._entries))
+            self._drop(oldest)
+            self.evictions += 1
+
+    def stats(self) -> dict[str, Any]:
+        """Store-side counters (merged into the service's ServeStats block)."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self.nbytes,
+            "puts": self.puts,
+            "gets": self.gets,
+            "evictions": self.evictions,
+            "integrity_failures": self.integrity_failures,
+            "persistent": self.root is not None,
+        }

@@ -1,0 +1,127 @@
+"""Fleet golden corpus: deterministic grid, sharded record, sampled check.
+
+The ``fleet`` marker tags the end-to-end record+replay passes — tier-1
+runs them (they record a *small* corpus into tmp), and
+``pytest -m "not fleet"`` skips them for a faster inner loop.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.replay import (
+    FLEET_PROTOCOLS,
+    check_fleet,
+    fleet_paths,
+    fleet_sample,
+    fleet_specs,
+    record_fleet,
+)
+
+GRID = dict(n=8, extra_edges=6, graph_seed=3, limit=50)
+
+
+# --------------------------------------------------------------------- #
+# Spec grid
+# --------------------------------------------------------------------- #
+
+def test_fleet_specs_deterministic():
+    a = fleet_specs(20, **GRID)
+    b = fleet_specs(20, **GRID)
+    assert [(n, s) for n, s in a] == [(n, s) for n, s in b]
+    # Names are unique and index-ordered.
+    names = [n for n, _s in a]
+    assert len(set(names)) == 20
+    assert names == sorted(names)
+
+
+def test_fleet_specs_cycle_protocols_and_adversaries():
+    specs = fleet_specs(len(FLEET_PROTOCOLS) * 3, **GRID)
+    assert {s.protocol for _n, s in specs} == set(FLEET_PROTOCOLS)
+    drops = {s.plan.drop if s.plan else None for _n, s in specs}
+    assert None in drops and len(drops) == 3
+
+
+def test_fleet_specs_seed_changes_grid():
+    a = fleet_specs(5, fleet_seed=0, **GRID)
+    b = fleet_specs(5, fleet_seed=1, **GRID)
+    assert [s.seed for _n, s in a] != [s.seed for _n, s in b]
+
+
+def test_fleet_specs_rejects_empty():
+    with pytest.raises(ValueError):
+        fleet_specs(0)
+
+
+# --------------------------------------------------------------------- #
+# Record + check end-to-end (small corpus, serial — tier-1 friendly)
+# --------------------------------------------------------------------- #
+
+@pytest.mark.fleet
+def test_record_check_fleet_roundtrip(tmp_path):
+    corpus = tmp_path / "fleet"
+    manifest = record_fleet(str(corpus), 6, **GRID)
+    assert len(manifest["traces"]) == 6
+    paths = fleet_paths(str(corpus))
+    assert len(paths) == 6
+    # Every trace lives in the shard the manifest says it does.
+    for name, entry in manifest["traces"].items():
+        path = corpus / entry["shard"] / f"{name}.jsonl"
+        assert path.exists()
+        sha = hashlib.sha256(path.read_bytes()).hexdigest()
+        assert sha == entry["sha256"]
+    report = check_fleet(str(corpus))
+    assert report["ok"], report["failures"]
+    assert report["replayed"] == report["total"] == 6
+
+
+@pytest.mark.fleet
+def test_check_fleet_samples_and_flags_corruption(tmp_path):
+    corpus = tmp_path / "fleet"
+    record_fleet(str(corpus), 5, **GRID)
+    sampled = check_fleet(str(corpus), sample=2)
+    assert sampled["ok"] and sampled["replayed"] == 2 and sampled["total"] == 5
+    # Corrupt one trace: the manifest SHA pass must flag it even when the
+    # sample would not have replayed it.
+    victim = fleet_paths(str(corpus))[0]
+    Path(victim).write_text(Path(victim).read_text().replace('"', "'", 1))
+    report = check_fleet(str(corpus), sample=2)
+    assert not report["ok"]
+    assert victim in report["failures"]
+    assert "sha mismatch" in report["failures"][victim]
+
+
+@pytest.mark.fleet
+def test_record_fleet_rerecord_is_byte_identical(tmp_path):
+    a, b = tmp_path / "a", tmp_path / "b"
+    record_fleet(str(a), 4, **GRID)
+    record_fleet(str(b), 4, **GRID)
+    shas = []
+    for corpus in (a, b):
+        shas.append({Path(p).name: hashlib.sha256(Path(p).read_bytes()).hexdigest()
+                     for p in fleet_paths(str(corpus))})
+    assert shas[0] == shas[1]
+    ma = json.loads((a / "manifest.json").read_text())
+    mb = json.loads((b / "manifest.json").read_text())
+    assert ma == mb
+
+
+# --------------------------------------------------------------------- #
+# Sampling
+# --------------------------------------------------------------------- #
+
+def test_fleet_sample_deterministic_and_seeded():
+    paths = [f"shard-00/fleet-{i:05d}-broadcast.jsonl" for i in range(30)]
+    s1 = fleet_sample(paths, 10)
+    s2 = fleet_sample(paths, 10)
+    assert s1 == s2 and len(s1) == 10
+    assert set(s1) <= set(paths)
+    s3 = fleet_sample(paths, 10, sample_seed=7)
+    assert s1 != s3  # different seed, different subset (overwhelmingly)
+
+
+def test_fleet_sample_k_at_least_len_is_everything():
+    paths = ["x.jsonl", "y.jsonl"]
+    assert fleet_sample(paths, 5) == sorted(paths)

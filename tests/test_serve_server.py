@@ -1,0 +1,138 @@
+"""TCP wire protocol end-to-end: stream, reassemble, verify, shut down.
+
+Runs a real ``ServeServer`` on an ephemeral port inside a background
+event loop and talks to it with the blocking :class:`TCPServeClient` —
+the exact shape ``python -m repro.serve`` deploys, minus the process
+boundary (``scripts/serve_smoke.py`` covers that in CI).
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.serve import ServeError, ServeServer, ServeService, TCPServeClient
+from repro.serve.address import payload_bytes
+
+CHAOS = {"kind": "chaos", "protocol": "broadcast", "n": 8, "extra_edges": 6,
+         "graph_seed": 3, "backend": "python"}
+TRACE = {"kind": "trace", "protocol": "dfs", "n": 8, "extra_edges": 6,
+         "graph_seed": 3, "backend": "python"}
+SWEEP = {"kind": "sweep", "n": 8, "extra_edges": 6, "graph_seed": 3,
+         "drop_rates": [0.0, 0.2], "backend": "python"}
+
+
+class _Harness:
+    """ServeServer on a private loop thread, bound to an ephemeral port."""
+
+    def __init__(self, tmp_path):
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever,
+                                       daemon=True)
+        self.thread.start()
+        self.service = self._call(self._make_service(str(tmp_path / "cache")))
+        self.server = ServeServer(self.service, port=0)
+        self.host, self.port = self._call(self.server.start())
+
+    @staticmethod
+    async def _make_service(cache_dir):
+        return ServeService(cache_dir=cache_dir)
+
+    def _call(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(
+            timeout=120)
+
+    def close(self):
+        if self.thread.is_alive():
+            self._call(self.server.close())
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self.thread.join(timeout=30)
+            self.loop.close()
+
+
+@pytest.fixture
+def harness(tmp_path):
+    h = _Harness(tmp_path)
+    yield h
+    h.close()
+
+
+def test_tcp_roundtrip_cold_then_cached_byte_identical(harness):
+    with TCPServeClient(harness.host, harness.port) as client:
+        cold = client.request(CHAOS)
+        cached = client.request(CHAOS)
+    assert cold["source"] == "executed" and cached["source"] == "cache"
+    assert payload_bytes(cold["payload"]) == payload_bytes(cached["payload"])
+    assert cold["payload_sha"] == cached["payload_sha"]
+    assert cold["rows"] == 1 and cold["chunks"] == 0
+
+
+def test_tcp_sweep_streams_rows(harness):
+    with TCPServeClient(harness.host, harness.port) as client:
+        resp = client.request(SWEEP)
+    assert resp["kind"] == "sweep"
+    assert resp["rows"] == len(resp["payload"]) > 0
+
+
+def test_tcp_trace_streams_chunks_and_reassembles(harness):
+    with TCPServeClient(harness.host, harness.port) as client:
+        resp = client.request(TRACE)
+    assert resp["kind"] == "trace"
+    assert resp["chunks"] >= 1
+    assert isinstance(resp["payload"], str)
+    # The reassembled text is a well-formed JSONL trace document.
+    first = json.loads(resp["payload"].splitlines()[0])
+    assert isinstance(first, dict)
+
+
+def test_tcp_bad_requests_get_error_lines_not_disconnects(harness):
+    with TCPServeClient(harness.host, harness.port) as client:
+        with pytest.raises(ServeError, match="kind"):
+            client.request({"kind": "nope"})
+        # The connection survives an error line: next request still works.
+        assert client.request(CHAOS)["kind"] == "chaos"
+
+
+def test_tcp_malformed_json_line(harness):
+    with socket.create_connection((harness.host, harness.port),
+                                  timeout=30) as sock:
+        f = sock.makefile("rwb")
+        f.write(b"this is not json\n")
+        f.flush()
+        doc = json.loads(f.readline())
+        assert doc["type"] == "error" and "bad JSON" in doc["error"]
+        f.write(b'"not an object"\n')
+        f.flush()
+        doc = json.loads(f.readline())
+        assert doc["type"] == "error" and "object" in doc["error"]
+
+
+def test_tcp_ops_stats_and_ping(harness):
+    with TCPServeClient(harness.host, harness.port) as client:
+        client.request(CHAOS)
+        client.request(CHAOS)
+        stats = client.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["store"]["entries"] == 1
+        pong = client.ping()
+        assert pong["type"] == "pong" and pong["closing"] is False
+
+
+def test_tcp_unknown_op_errors(harness):
+    with socket.create_connection((harness.host, harness.port),
+                                  timeout=30) as sock:
+        f = sock.makefile("rwb")
+        f.write(json.dumps({"op": "flush"}).encode() + b"\n")
+        f.flush()
+        doc = json.loads(f.readline())
+        assert doc["type"] == "error" and "unknown op" in doc["error"]
+
+
+def test_server_close_refuses_new_connections(harness):
+    with TCPServeClient(harness.host, harness.port) as client:
+        client.request(CHAOS)
+    harness.close()
+    with pytest.raises(OSError):
+        socket.create_connection((harness.host, harness.port), timeout=2)

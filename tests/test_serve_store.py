@@ -1,0 +1,159 @@
+"""ResultStore: CAS roundtrip, persistence, integrity, FIFO eviction."""
+
+import json
+
+import pytest
+
+from repro.serve import ResultStore, payload_bytes, payload_sha, request_address
+
+CANON, ADDR = request_address(
+    {"kind": "chaos", "protocol": "broadcast", "n": 8, "extra_edges": 6,
+     "graph_seed": 3, "backend": "python"})
+PAYLOAD = {"status": "ok", "rounds": 3, "messages": [1, 2, 3]}
+
+
+def _addr(i):
+    canon, addr = request_address(
+        {"kind": "chaos", "protocol": "broadcast", "n": 8, "extra_edges": 6,
+         "graph_seed": 3, "fault_seed": i, "backend": "python"})
+    return canon, addr
+
+
+# --------------------------------------------------------------------- #
+# Roundtrip + persistence
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("persistent", [True, False])
+def test_put_get_roundtrip(tmp_path, persistent):
+    store = ResultStore(tmp_path / "cas" if persistent else None)
+    assert store.get(ADDR) is None
+    env = store.put(ADDR, CANON, PAYLOAD)
+    got = store.get(ADDR)
+    assert got is not None
+    assert got["payload"] == PAYLOAD
+    assert got["payload_sha"] == payload_sha(PAYLOAD) == env["payload_sha"]
+    assert payload_bytes(got["payload"]) == payload_bytes(PAYLOAD)
+    assert ADDR in store and len(store) == 1
+
+
+def test_put_is_idempotent(tmp_path):
+    store = ResultStore(tmp_path / "cas")
+    store.put(ADDR, CANON, PAYLOAD)
+    store.put(ADDR, CANON, PAYLOAD)
+    assert store.puts == 1 and len(store) == 1
+
+
+def test_persists_across_instances(tmp_path):
+    root = tmp_path / "cas"
+    ResultStore(root).put(ADDR, CANON, PAYLOAD)
+    reopened = ResultStore(root)
+    got = reopened.get(ADDR)
+    assert got is not None and got["payload"] == PAYLOAD
+
+
+def test_journal_survives_torn_final_line(tmp_path):
+    root = tmp_path / "cas"
+    ResultStore(root).put(ADDR, CANON, PAYLOAD)
+    with open(root / "index.jsonl", "a") as fh:
+        fh.write('{"op": "put", "addr')  # crashed writer
+    reopened = ResultStore(root)
+    assert reopened.get(ADDR) is not None
+
+
+def test_vanished_object_file_is_a_miss(tmp_path):
+    root = tmp_path / "cas"
+    store = ResultStore(root)
+    store.put(ADDR, CANON, PAYLOAD)
+    next((root / "objects").rglob("*.json")).unlink()
+    reopened = ResultStore(root)
+    assert reopened.get(ADDR) is None
+
+
+# --------------------------------------------------------------------- #
+# Integrity: a corrupt entry degrades to a miss, never to bad bytes
+# --------------------------------------------------------------------- #
+
+def test_corrupt_payload_detected_and_dropped(tmp_path):
+    root = tmp_path / "cas"
+    store = ResultStore(root)
+    store.put(ADDR, CANON, PAYLOAD)
+    obj = next((root / "objects").rglob("*.json"))
+    doc = json.loads(obj.read_text())
+    doc["payload"]["rounds"] = 999  # bit-rot / tamper
+    obj.write_text(json.dumps(doc, sort_keys=True))
+    assert store.get(ADDR) is None
+    assert store.integrity_failures == 1
+    assert ADDR not in store and not obj.exists()
+    # A re-put after the drop re-stores cleanly.
+    store.put(ADDR, CANON, PAYLOAD)
+    assert store.get(ADDR) is not None
+
+
+def test_unreadable_object_is_a_miss(tmp_path):
+    root = tmp_path / "cas"
+    store = ResultStore(root)
+    store.put(ADDR, CANON, PAYLOAD)
+    next((root / "objects").rglob("*.json")).write_text("{not json")
+    assert store.get(ADDR) is None
+    assert store.integrity_failures == 1
+
+
+# --------------------------------------------------------------------- #
+# Eviction: FIFO, capacity-bounded, deterministic
+# --------------------------------------------------------------------- #
+
+def test_fifo_eviction_by_entries(tmp_path):
+    store = ResultStore(tmp_path / "cas", max_entries=2)
+    addrs = []
+    for i in range(3):
+        canon, addr = _addr(i)
+        store.put(addr, canon, dict(PAYLOAD, i=i))
+        addrs.append(addr)
+    assert store.evictions == 1 and len(store) == 2
+    assert store.get(addrs[0]) is None          # oldest gone
+    assert store.get(addrs[1]) is not None
+    assert store.get(addrs[2]) is not None
+
+
+def test_fifo_eviction_by_bytes(tmp_path):
+    store = ResultStore(tmp_path / "cas", max_bytes=1)
+    c0, a0 = _addr(0)
+    c1, a1 = _addr(1)
+    store.put(a0, c0, PAYLOAD)
+    assert len(store) == 1        # a lone oversized entry is kept
+    store.put(a1, c1, PAYLOAD)
+    assert len(store) == 1 and store.evictions >= 1
+    assert store.get(a0) is None and store.get(a1) is not None
+
+
+def test_eviction_order_survives_reopen(tmp_path):
+    root = tmp_path / "cas"
+    store = ResultStore(root, max_entries=10)
+    addrs = []
+    for i in range(3):
+        canon, addr = _addr(i)
+        store.put(addr, canon, PAYLOAD)
+        addrs.append(addr)
+    reopened = ResultStore(root, max_entries=2)
+    # Journal replay reconstructs insertion order, so capacity shrink
+    # evicts the same oldest entry any host would evict.
+    c3, a3 = _addr(3)
+    reopened.put(a3, c3, PAYLOAD)
+    assert reopened.get(addrs[0]) is None
+    assert reopened.get(addrs[2]) is not None
+
+
+@pytest.mark.parametrize("kwargs", [{"max_entries": 0}, {"max_bytes": 0}])
+def test_rejects_nonpositive_capacity(kwargs):
+    with pytest.raises(ValueError):
+        ResultStore(None, **kwargs)
+
+
+def test_stats_shape(tmp_path):
+    store = ResultStore(tmp_path / "cas")
+    store.put(ADDR, CANON, PAYLOAD)
+    store.get(ADDR)
+    s = store.stats()
+    assert s["entries"] == 1 and s["puts"] == 1 and s["gets"] >= 1
+    assert s["persistent"] is True and s["bytes"] > 0
+    assert ResultStore(None).stats()["persistent"] is False
