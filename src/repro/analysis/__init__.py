@@ -12,6 +12,14 @@ distributed-verification line of work the paper's MST section builds on:
   aliasing (:mod:`repro.analysis.rules`), with a committed-baseline gate
   (:mod:`repro.analysis.baseline`) so CI fails only on *new* findings;
 
+* a **message-flow pass** (``python -m repro.analysis --flow``): an
+  interprocedural checker (:mod:`repro.analysis.flow`) that extracts each
+  module's send sites, handler dispatch ladders, and helper call graph,
+  then enforces the send/handle contract with rules ``RS006``–``RS010``
+  (unhandled kinds, dead handler arms, off-taxonomy tags, handler-reachable
+  nondeterminism, and static cross-process payload writes) and exports the
+  kind graph as DOT/ASCII;
+
 * a **runtime pass**: ``Network(race_detect=True)`` arms
   :class:`~repro.analysis.race.RaceDetector`, which ownership-tags every
   process and fingerprints every in-flight payload, raising (or, in
@@ -23,21 +31,36 @@ from __future__ import annotations
 
 from .baseline import Baseline, BaselineError, diff_against
 from .findings import Finding
+from .flow import (
+    PROTOCOL_MODULES,
+    ModuleFlow,
+    extract_module_flow,
+    flow_of_source,
+    flow_to_ascii,
+    flow_to_dot,
+)
 from .race import (
     RaceDetector,
     SharedStateViolation,
     violation_signature,
     violation_signatures,
 )
-from .rules import RULES, analyze_source
+from .rules import FLOW_CODES, RULES, analyze_source
 
 __all__ = [
     "Finding",
+    "FLOW_CODES",
     "RULES",
     "analyze_source",
     "Baseline",
     "BaselineError",
     "diff_against",
+    "ModuleFlow",
+    "PROTOCOL_MODULES",
+    "extract_module_flow",
+    "flow_of_source",
+    "flow_to_ascii",
+    "flow_to_dot",
     "RaceDetector",
     "SharedStateViolation",
     "violation_signature",

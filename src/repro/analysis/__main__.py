@@ -2,8 +2,16 @@
 
 Walks the given paths (default: the ``repro`` package source it is running
 from), applies every rule in :mod:`repro.analysis.rules`, and prints the
-findings deterministically sorted — as text, or as JSONL with ``--format
-jsonl`` (one finding object per line, machine-diffable).
+findings deterministically sorted — as text, as JSONL with ``--format
+jsonl`` (one finding object per line, machine-diffable), or as GitHub
+workflow annotations with ``--format github`` (``::error file=...`` lines
+the Actions UI attaches to the diff; text and jsonl stay byte-identical
+across runs).
+
+``--flow`` restricts the run to the interprocedural message-flow rules
+(``RS006``–``RS010``, :mod:`repro.analysis.flow`).  ``--dot PATH`` writes
+the message-flow graph of the scanned files as Graphviz DOT; ``--graph``
+prints the per-module ASCII flow graphs instead of linting.
 
 Exit status: 0 when every finding is covered by the baseline (or there are
 none), 1 when new findings exist, 2 on usage errors.  ``--write-baseline``
@@ -14,13 +22,15 @@ justification — edit it to say *why* each one is acceptable).
 from __future__ import annotations
 
 import argparse
+import ast
 import json
 import sys
 from pathlib import Path
 
 from .baseline import Baseline, BaselineError, diff_against
 from .findings import Finding
-from .rules import RULES, analyze_source
+from .flow import ModuleFlow, extract_module_flow, flow_to_ascii, flow_to_dot
+from .rules import FLOW_CODES, RULES, analyze_source
 
 __all__ = ["main", "collect_findings"]
 
@@ -60,6 +70,16 @@ def _default_target() -> Path:
     return Path(__file__).resolve().parent.parent
 
 
+def _module_flows(paths: list[Path]) -> list[ModuleFlow]:
+    """Message-flow extraction over every python file under ``paths``."""
+    flows: list[ModuleFlow] = []
+    for file in _iter_py_files(paths):
+        source = file.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(file))
+        flows.append(extract_module_flow(tree, path=_rel(file), source=source))
+    return flows
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -68,10 +88,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories to scan "
                              "(default: the repro package)")
-    parser.add_argument("--format", choices=("text", "jsonl"), default="text")
+    parser.add_argument("--format", choices=("text", "jsonl", "github"),
+                        default="text")
     parser.add_argument("--rules", default=None,
                         help="comma-separated rule codes to run "
                              f"(default: all of {','.join(sorted(RULES))})")
+    parser.add_argument("--flow", action="store_true",
+                        help="run only the message-flow contract rules "
+                             f"({','.join(sorted(FLOW_CODES))})")
+    parser.add_argument("--dot", type=Path, default=None, metavar="PATH",
+                        help="also write the message-flow graph of the "
+                             "scanned files as Graphviz DOT to PATH")
+    parser.add_argument("--graph", action="store_true",
+                        help="print per-module ASCII flow graphs and exit "
+                             "(no linting)")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="baseline JSON; findings it covers do not fail")
     parser.add_argument("--write-baseline", type=Path, default=None,
@@ -94,8 +124,26 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown rule code(s): {', '.join(unknown)}",
                   file=sys.stderr)
             return 2
+    if args.flow:
+        if rules is not None:
+            print("--flow and --rules are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        rules = sorted(FLOW_CODES)
 
     paths = args.paths or [_default_target()]
+
+    if args.graph:
+        for flow in _module_flows(paths):
+            print(f"== {flow.path}")
+            print(flow_to_ascii(flow), end="")
+        return 0
+
+    if args.dot is not None:
+        args.dot.write_text(flow_to_dot(_module_flows(paths)),
+                            encoding="utf-8")
+        print(f"wrote flow graph to {args.dot}", file=sys.stderr)
+
     findings = collect_findings(paths, rules=rules)
 
     if args.write_baseline is not None:
@@ -121,6 +169,14 @@ def main(argv: list[str] | None = None) -> int:
             doc = f.as_dict()
             doc["baselined"] = f in baseline
             print(json.dumps(doc, sort_keys=True))
+    elif args.format == "github":
+        # Workflow-command annotations: one ::error per *new* finding so
+        # the Actions UI pins them to the diff; columns are 1-based there.
+        for f in new:
+            where = f" [in {f.context}]" if f.context != "<module>" else ""
+            print(f"::error file={f.path},line={f.line},col={f.col + 1},"
+                  f"title={f.rule}::{f.message}{where}")
+        print(f"{len(new)} finding(s)")
     else:
         for f in new:
             print(f.render())

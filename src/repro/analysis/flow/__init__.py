@@ -1,0 +1,67 @@
+"""Interprocedural message-flow contract checker.
+
+Per protocol module this package extracts send sites (kind, tag, size),
+handler dispatch structure (the ``on_message`` ladder plus helper methods
+through an intraprocedural call graph), and the message-flow graph
+(kind -> senders -> handlers -> kinds sent in response), then checks the
+send/handle/tag contract the paper's per-message-class cost accounting
+depends on (rules RS006-RS010, registered in the shared catalog of
+:mod:`repro.analysis.rules`).
+
+``PROTOCOL_MODULES`` is the certified surface: for every module named
+here the extracted send-kind set must equal the handled-kind set —
+asserted by ``tests/test_flow.py`` and re-checked by the CI ``flowcheck``
+job on every push.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .export import flow_to_ascii, flow_to_dot
+from .extract import HANDLER_ROOTS, extract_module_flow
+from .model import ClassFlow, HandlerClause, KindNode, ModuleFlow, SendSite, TagInfo
+from .rules import FLOW_CODES, analyze_flow_tree
+from .taxonomy import DECLARED_PREFIXES, DECLARED_TAGS
+
+__all__ = [
+    "FLOW_CODES",
+    "HANDLER_ROOTS",
+    "DECLARED_TAGS",
+    "DECLARED_PREFIXES",
+    "PROTOCOL_MODULES",
+    "TagInfo",
+    "SendSite",
+    "HandlerClause",
+    "ClassFlow",
+    "KindNode",
+    "ModuleFlow",
+    "analyze_flow_tree",
+    "extract_module_flow",
+    "flow_of_source",
+    "flow_to_ascii",
+    "flow_to_dot",
+]
+
+#: The eleven kind-dispatching protocol modules under contract: the
+#: extracted send-kind set equals the handled-kind set for each (modules
+#: with opaque payloads satisfy it as the empty set on both sides).
+PROTOCOL_MODULES: tuple[str, ...] = (
+    "repro.protocols.broadcast",
+    "repro.protocols.convergecast",
+    "repro.protocols.dfs",
+    "repro.protocols.full_info",
+    "repro.protocols.mst_ghs",
+    "repro.protocols.spt_recur",
+    "repro.protocols.termination",
+    "repro.faults.transport",
+    "repro.synch.host_base",
+    "repro.synch.simple_synchronizers",
+    "repro.synch.gamma_w",
+)
+
+
+def flow_of_source(source: str, path: str = "<string>") -> ModuleFlow:
+    """Parse and extract one module's flow model in one call."""
+    tree = ast.parse(source, filename=path)
+    return extract_module_flow(tree, path, source)

@@ -1,0 +1,72 @@
+"""Deterministic DOT and ASCII renderers for message-flow graphs.
+
+Both renderers are pure functions of the extracted model (sorted at every
+fan-out), so two runs over the same tree emit byte-identical output — the
+same contract the linter's text/JSONL formats keep.
+"""
+
+from __future__ import annotations
+
+from .model import ModuleFlow
+
+__all__ = ["flow_to_dot", "flow_to_ascii"]
+
+
+def _module_label(flow: ModuleFlow) -> str:
+    return flow.path.replace("\\", "/")
+
+
+def flow_to_dot(flows: list[ModuleFlow]) -> str:
+    """One DOT digraph; a cluster per module, a node per message kind,
+    an edge ``a -> b`` when handling ``a`` sends ``b`` in response."""
+    out: list[str] = [
+        "digraph message_flow {",
+        "  rankdir=LR;",
+        "  node [shape=box, fontname=monospace];",
+    ]
+    for idx, flow in enumerate(sorted(flows, key=_module_label)):
+        graph = flow.graph()
+        if not graph:
+            continue
+        label = _module_label(flow)
+        out.append(f"  subgraph cluster_{idx} {{")
+        out.append(f'    label="{label}";')
+        for kind in sorted(graph):
+            node = graph[kind]
+            senders = len(node.senders)
+            handlers = len(node.handlers)
+            out.append(
+                f'    "{label}:{kind}" '
+                f'[label="{kind}\\n{senders} send / {handlers} handle"];'
+            )
+        for kind in sorted(graph):
+            for response in sorted(graph[kind].responds):
+                if response in graph:
+                    out.append(
+                        f'    "{label}:{kind}" -> "{label}:{response}";'
+                    )
+        out.append("  }")
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def flow_to_ascii(flow: ModuleFlow) -> str:
+    """A per-kind text block: senders, handlers, response kinds."""
+    graph = flow.graph()
+    out: list[str] = [f"message flow: {_module_label(flow)}"]
+    if not graph:
+        out.append("  (no literal-kind message traffic)")
+        return "\n".join(out) + "\n"
+    for kind in sorted(graph):
+        node = graph[kind]
+        out.append(f"  [{kind}]")
+        senders = ", ".join(sorted(node.senders)) or "-"
+        handlers = ", ".join(sorted(node.handlers)) or "-"
+        responds = ", ".join(sorted(node.responds)) or "-"
+        out.append(f"    sent by  {senders}")
+        out.append(f"    handled  {handlers}")
+        out.append(f"    responds {responds}")
+    wildcard = [c.name for c in flow.classes if c.process_like and c.wildcard]
+    if wildcard:
+        out.append(f"  wildcard arms: {', '.join(sorted(wildcard))}")
+    return "\n".join(out) + "\n"

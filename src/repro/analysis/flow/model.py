@@ -1,0 +1,166 @@
+"""Data model for the interprocedural message-flow contract checker.
+
+The extractor (:mod:`repro.analysis.flow.extract`) reduces one protocol
+module to a :class:`ModuleFlow`: per process-like class, every **send
+site** (message kind, tag resolution, size expression), every **handler
+clause** (a ``kind == "..."`` dispatch arm and the kinds it sends in
+response, through the intraprocedural call graph), and the reachability /
+payload-taint facts the flow rules (RS006-RS010) consume.  The same model
+feeds the DOT/ASCII exporters (:mod:`repro.analysis.flow.export`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TagInfo",
+    "SendSite",
+    "HandlerClause",
+    "ClassFlow",
+    "ModuleFlow",
+    "KindNode",
+]
+
+
+@dataclass(frozen=True)
+class TagInfo:
+    """How a send site's ``tag=`` keyword resolved statically.
+
+    ``status`` is one of:
+
+    * ``"literal"`` — a string literal, a module constant, or a
+      ``self.attr`` traced to an ``__init__`` default; ``value`` holds it.
+    * ``"prefix"`` — an f-string with a literal head (``f"ds-proto.{...}"``);
+      ``value`` holds the head.
+    * ``"forwarded"`` — a bare parameter of the enclosing method (a shim
+      pass-through; the *callers'* expanded sites carry the real tag).
+    * ``"dynamic"`` — an expression the checker cannot resolve.
+    * ``"missing"`` — no ``tag=`` keyword at all.
+    """
+
+    status: str
+    value: str | None = None
+
+
+@dataclass(frozen=True)
+class SendSite:
+    """One ``self.send(...)`` call (possibly expanded through a shim)."""
+
+    line: int
+    col: int
+    cls: str
+    method: str
+    kind: str | None  # None: payload is opaque (no literal tuple kind)
+    tag: TagInfo
+    payload: str  # source text of the payload expression
+    size: str | None  # source text of the size expression, None = default
+    via: str | None = None  # shim method the site was expanded through
+    shim: bool = False  # True: this is the shim's own generic send
+
+    @property
+    def where(self) -> str:
+        return f"{self.cls}.{self.method}"
+
+
+@dataclass(frozen=True)
+class HandlerClause:
+    """One dispatch arm: ``kind == K`` (or a ``!= K`` misuse guard /
+    ``assert kind == K``) reachable from a handler entry point."""
+
+    kind: str
+    cls: str
+    method: str
+    line: int
+    responds: frozenset[str] = frozenset()  # kinds sent while handling
+
+    @property
+    def where(self) -> str:
+        return f"{self.cls}.{self.method}"
+
+
+@dataclass
+class ClassFlow:
+    """Flow facts for one class."""
+
+    name: str
+    line: int
+    process_like: bool
+    sends: list[SendSite] = field(default_factory=list)
+    clauses: list[HandlerClause] = field(default_factory=list)
+    #: the class has a dispatch ``else`` arm that *acts* (delegates or
+    #: computes) instead of raising — unknown kinds are absorbed, so
+    #: RS006 cannot claim they go unhandled.
+    wildcard: bool = False
+    wildcard_line: int | None = None
+    #: intraprocedural call graph: method -> self-methods it references.
+    calls: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: methods reachable from the handler entry points through ``calls``.
+    reachable: frozenset[str] = frozenset()
+
+    @property
+    def sent_kinds(self) -> frozenset[str]:
+        return frozenset(s.kind for s in self.sends if s.kind is not None)
+
+    @property
+    def handled_kinds(self) -> frozenset[str]:
+        return frozenset(c.kind for c in self.clauses)
+
+
+@dataclass
+class ModuleFlow:
+    """Flow facts for one module: the unit the contract rules check."""
+
+    path: str
+    classes: list[ClassFlow] = field(default_factory=list)
+
+    @property
+    def sent_kinds(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for c in self.classes:
+            if c.process_like:
+                out |= c.sent_kinds
+        return out
+
+    @property
+    def handled_kinds(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for c in self.classes:
+            if c.process_like:
+                out |= c.handled_kinds
+        return out
+
+    @property
+    def wildcard(self) -> bool:
+        return any(c.wildcard for c in self.classes if c.process_like)
+
+    def graph(self) -> dict[str, KindNode]:
+        """The message-flow graph: kind -> senders/handlers/response kinds."""
+        nodes: dict[str, KindNode] = {}
+
+        def node(kind: str) -> KindNode:
+            if kind not in nodes:
+                nodes[kind] = KindNode(kind)
+            return nodes[kind]
+
+        for cls in self.classes:
+            if not cls.process_like:
+                continue
+            for site in cls.sends:
+                if site.kind is not None:
+                    node(site.kind).senders.add(site.where)
+            for clause in cls.clauses:
+                n = node(clause.kind)
+                n.handlers.add(clause.where)
+                n.responds |= clause.responds
+        return dict(sorted(nodes.items()))
+
+
+@dataclass
+class KindNode:
+    """One message kind in the flow graph."""
+
+    kind: str
+    senders: set[str] = field(default_factory=set)
+    handlers: set[str] = field(default_factory=set)
+    responds: set[str] = field(default_factory=set)

@@ -1,0 +1,87 @@
+"""The cost-tag taxonomy the flow checker certifies sends against.
+
+The paper's bounds are stated *per message class*, and the repro itemizes
+every class through ``Metrics.cost_by_tag``.  A send whose tag is not in
+this registry either silently merges into another class's budget or
+creates an unaccounted one — RS008 flags both.
+
+Two sources define the registry:
+
+* the **declared manifest** below — every tag a consumer reads back out of
+  ``cost_by_tag`` / ``tagged_cost`` (plus the documented demo tags), kept
+  in lock-step with the protocol modules;
+* **per-module discovery** — string literals a scanned module itself reads
+  from ``cost_by_tag`` / ``count_by_tag`` / ``tagged_cost`` are accepted
+  for that module, so a new protocol that both sends and accounts a fresh
+  tag needs no manifest edit to lint clean.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["DECLARED_TAGS", "DECLARED_PREFIXES", "module_declared_tags",
+           "tag_is_declared"]
+
+#: Every itemized message class with a fixed tag (see ``docs/ANALYSIS.md``).
+DECLARED_TAGS: frozenset[str] = frozenset({
+    # core protocol suite
+    "flood", "broadcast", "convergecast", "converge",
+    "dfs", "dfs-control",
+    "ghs-connect", "ghs-initiate", "ghs-test", "ghs-report", "ghs-halt",
+    "centr", "MST_centr", "SPT_centr",
+    "bfs-sync", "bfs-explore", "bfs-ack", "bfs-child",
+    # reliable transport accounting
+    "rel-data", "rel-ack", "rel-retry",
+    # synchronizers (pulse engines + clock drivers)
+    "proto", "sync-ack", "sync-alpha", "sync-beta", "sync-gamma",
+    "alpha", "beta", "gamma*",
+    # termination detection / controller framing
+    "ds-ack", "ds-announce",
+    "ctl-req", "ctl-grant", "ctl-halt",
+    # controller-demo inner protocols (framed under ctl-proto.<tag>)
+    "wake", "chunk", "storm",
+})
+
+#: Namespaced families: any tag starting with one of these is accounted
+#: by a ``startswith`` consumer, so the whole family is sanctioned.
+DECLARED_PREFIXES: tuple[str, ...] = ("ds-proto.", "ctl-proto.")
+
+# Attribute names whose string-subscript reads declare a tag in-module.
+_TAG_MAPS = frozenset({"cost_by_tag", "count_by_tag"})
+
+
+def module_declared_tags(tree: ast.AST) -> frozenset[str]:
+    """Tags a module itself reads back from the metrics maps.
+
+    Recognizes ``...cost_by_tag["x"]``, ``...cost_by_tag.get("x", ...)``
+    and ``...tagged_cost("x", ...)`` — the patterns the experiment readers
+    use — so locally-accounted tags are sanctioned without a manifest edit.
+    """
+    tags: set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr in _TAG_MAPS
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            tags.add(node.slice.value)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if (
+                node.func.attr == "get"
+                and isinstance(node.func.value, ast.Attribute)
+                and node.func.value.attr in _TAG_MAPS
+            ) or node.func.attr == "tagged_cost":
+                for arg in node.args:
+                    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                        tags.add(arg.value)
+    return frozenset(tags)
+
+
+def tag_is_declared(tag: str, extra: frozenset[str] = frozenset()) -> bool:
+    """Is ``tag`` in the taxonomy (manifest, module-local, or a family)?"""
+    if tag in DECLARED_TAGS or tag in extra:
+        return True
+    return any(tag.startswith(p) for p in DECLARED_PREFIXES)

@@ -38,16 +38,28 @@ from collections.abc import Iterable, Sequence
 
 from .findings import Finding
 
-__all__ = ["RULES", "analyze_source", "Analyzer"]
+__all__ = ["RULES", "FLOW_CODES", "analyze_source", "Analyzer"]
 
 #: rule code -> one-line summary (the CLI ``--explain`` catalog).
+#: RS001-RS005 are the determinism rules implemented by :class:`Analyzer`
+#: below; RS006-RS010 are the message-flow contract rules implemented by
+#: :mod:`repro.analysis.flow.rules` and dispatched from
+#: :func:`analyze_source`.
 RULES: dict[str, str] = {
     "RS001": "iteration over an unordered set (hash-order nondeterminism)",
     "RS002": "module-level random.* call bypasses the seeded RNG plumbing",
     "RS003": "wall-clock / entropy read differs between identical runs",
     "RS004": "WeightedGraph adjacency mutated without a _version bump",
     "RS005": "process writes simulator-owned state through its ctx",
+    "RS006": "message kind is sent but no handler in the module dispatches it",
+    "RS007": "dead handler arm: dispatched kind is never sent in the module",
+    "RS008": "send is untagged or its tag is outside the cost taxonomy",
+    "RS009": "nondeterminism (RS001-RS003) reachable from a message handler",
+    "RS010": "handler writes state on an object received in a payload",
 }
+
+#: Codes handled by the flow checker rather than the base visitor.
+FLOW_CODES = frozenset({"RS006", "RS007", "RS008", "RS009", "RS010"})
 
 # Consumers for which the iteration order of their (sole) argument cannot
 # be observed in the result.
@@ -180,6 +192,11 @@ class Analyzer(ast.NodeVisitor):
         self.lines = source.splitlines()
         self.rules = frozenset(rules) if rules is not None else frozenset(RULES)
         self.findings: list[Finding] = []
+        #: findings silenced by an ``allow`` marker — kept so the flow
+        #: checker's RS009 can still see nondeterminism sites whose *site*
+        #: rule was narrowly suppressed (the reachability hazard is a
+        #: separate question from the local one).
+        self.suppressed: list[Finding] = []
         self._scope: list[str] = []
         self._classes: list[_ClassInfo] = []
         # Per-function environment of set-typed local names (one dict per
@@ -205,9 +222,7 @@ class Analyzer(ast.NodeVisitor):
             return
         line = getattr(node, "lineno", 1)
         raw = self.lines[line - 1] if 0 < line <= len(self.lines) else ""
-        if code in _allowed_codes(raw):
-            return
-        self.findings.append(Finding(
+        finding = Finding(
             path=self.path,
             line=line,
             col=getattr(node, "col_offset", 0),
@@ -215,7 +230,11 @@ class Analyzer(ast.NodeVisitor):
             message=message,
             context=self._context(),
             snippet=raw.strip(),
-        ))
+        )
+        if code in _allowed_codes(raw):
+            self.suppressed.append(finding)
+            return
+        self.findings.append(finding)
 
     # ------------------------------------------------------------------ #
     # Set-likeness with the local-name environment
@@ -604,6 +623,18 @@ def analyze_source(source: str, path: str = "<string>",
     Raises ``SyntaxError`` if the source does not parse.
     """
     tree = ast.parse(source, filename=path)
-    analyzer = Analyzer(path, source, rules=rules)
-    analyzer.visit(tree)
-    return sorted(analyzer.findings)
+    selected = frozenset(rules) if rules is not None else frozenset(RULES)
+    findings: list[Finding] = []
+    if selected - FLOW_CODES:
+        analyzer = Analyzer(path, source, rules=selected - FLOW_CODES)
+        analyzer.visit(tree)
+        findings.extend(analyzer.findings)
+    if selected & FLOW_CODES:
+        # Imported lazily: the flow subpackage reuses this module's allow
+        # machinery, so a top-level import would be circular.
+        from .flow.rules import analyze_flow_tree
+
+        findings.extend(
+            analyze_flow_tree(tree, path, source, selected & FLOW_CODES)
+        )
+    return sorted(findings)

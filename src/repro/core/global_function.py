@@ -104,8 +104,10 @@ class GlobalFunctionProcess(Process):
             self._waiting -= 1
             if self._waiting == 0:
                 self._report_up()
-        else:  # "down"
+        elif kind == "down":
             self._announce(value)
+        else:
+            raise AssertionError(f"unknown global-function message {kind!r}")
 
     def _report_up(self) -> None:
         if self.parent is not None:

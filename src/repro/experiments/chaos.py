@@ -1,7 +1,8 @@
 """Experiment CH — the chaos matrix: every protocol under fault injection.
 
 Sweeps seeded message-loss rates across the protocol suite (flooding
-broadcast, tree convergecast, token DFS, GHS MST, SLT global function),
+broadcast, tree convergecast, token DFS, GHS MST plus its parallel-scan
+fast variant, SLT global function),
 with and without the cost-accounted reliable transport, and verifies the
 robustness contract:
 
@@ -98,6 +99,11 @@ def make_cases(n: int = 14, extra_edges: int = 20,
     def ghs_factory(v):
         return GhsProcess(False, n_total=g.num_vertices)
 
+    def ghs_fast_factory(v):
+        # The parallel-scan ("fast") GHS variant: first slice of the
+        # hybrid/fast protocol family in the chaos matrix.
+        return GhsProcess(True, n_total=g.num_vertices)
+
     def global_factory(v):
         return GlobalFunctionProcess(parent[v], children[v], inputs[v], SUM)
 
@@ -107,6 +113,7 @@ def make_cases(n: int = 14, extra_edges: int = 20,
                   lambda r: r.result_of(root)),
         ChaosCase("dfs", g, dfs_factory, _dfs_answer),
         ChaosCase("mst_ghs", g, ghs_factory, _mst_answer),
+        ChaosCase("mst_fast", g, ghs_fast_factory, _mst_answer),
         ChaosCase("global_fn(slt)", slt, global_factory, _global_answer),
     ]
 

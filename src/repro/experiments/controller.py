@@ -23,16 +23,23 @@ class ChunkStream(Process):
     def on_start(self):
         if self.start_it:
             for v in self.neighbors():
-                self.send(v, ("wake",))
+                self.send(v, ("wake",), tag="wake")
 
     def on_message(self, frm, payload):
-        if payload[0] == "wake" and not self._joined:
+        kind = payload[0]
+        if kind == "wake":
+            if self._joined:
+                return  # re-flooded wake-up: already part of the wave
             self._joined = True
             for v in self.neighbors():
                 if v != frm:
-                    self.send(v, ("wake",))
+                    self.send(v, ("wake",), tag="wake")
             for i in range(self.chunks):
-                self.send(frm, ("chunk", i))
+                self.send(frm, ("chunk", i), tag="chunk")
+        elif kind == "chunk":
+            pass  # chunks terminate at the node that woke us
+        else:
+            raise AssertionError(f"unknown ChunkStream message {kind!r}")
 
 
 class Storm(Process):
@@ -41,11 +48,11 @@ class Storm(Process):
     def on_start(self):
         if getattr(self, "start_it", False):
             for v in self.neighbors():
-                self.send(v, 0)
+                self.send(v, 0, tag="storm")
 
     def on_message(self, frm, k):
         for v in self.neighbors():
-            self.send(v, k + 1)
+            self.send(v, k + 1, tag="storm")
 
 
 def overhead_sweep(cases=((10, 8), (20, 16), (30, 32), (40, 64))):

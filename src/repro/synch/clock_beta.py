@@ -72,8 +72,10 @@ class BetaStarProcess(ClockProcess):
         if kind == "done":
             self._child_done[pulse] = self._child_done.get(pulse, 0) + 1
             self._maybe_report(pulse)
-        else:  # "go"
+        elif kind == "go":
             self._go(pulse)
+        else:
+            raise AssertionError(f"unknown beta* message {kind!r}")
 
 
 def run_beta_star(

@@ -1,0 +1,17 @@
+"""Planted RS006: a kind is sent but the closed ladder never dispatches it."""
+
+
+class OneWayProcess:
+    peer = None
+
+    def on_start(self):
+        # "ping" has no arm below and the ladder raises on unknown kinds.
+        self.send(self.peer, ("ping",), tag="flood")
+        self.send(self.peer, ("pong",), tag="flood")
+
+    def on_message(self, frm, payload):
+        kind = payload[0]
+        if kind == "pong":
+            self.finish(None)
+        else:
+            raise AssertionError(payload)

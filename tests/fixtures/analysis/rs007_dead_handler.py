@@ -1,0 +1,17 @@
+"""Planted RS007: a handler arm dispatches a kind no send site produces."""
+
+
+class VestigialProcess:
+    peer = None
+
+    def on_start(self):
+        self.send(self.peer, ("ping",), tag="flood")
+
+    def on_message(self, frm, payload):
+        kind = payload[0]
+        if kind == "ping":
+            self.finish(None)
+        elif kind == "bye":  # dead: nothing ever sends ("bye", ...)
+            self.finish(None)
+        else:
+            raise AssertionError(payload)

@@ -1,0 +1,16 @@
+"""Planted RS008: sends with no tag= and with an off-taxonomy tag."""
+
+
+class UnbudgetedProcess:
+    peer = None
+
+    def on_start(self):
+        self.send(self.peer, ("ping",))  # no tag at all
+        self.send(self.peer, ("ping",), tag="not-a-cost-class")
+
+    def on_message(self, frm, payload):
+        kind = payload[0]
+        if kind == "ping":
+            self.finish(None)
+        else:
+            raise AssertionError(payload)

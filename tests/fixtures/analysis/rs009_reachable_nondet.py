@@ -1,0 +1,21 @@
+"""Planted RS009: wall-clock read on the message path.
+
+The site itself carries a narrow ``allow RS003`` (so RS003 stays quiet),
+but the helper is reachable from ``on_message`` through the call graph —
+the interprocedural hazard RS009 exists to catch.
+"""
+
+import time
+
+
+class JitterProcess:
+    def on_message(self, frm, payload):
+        kind = payload[0]
+        if kind == "ping":
+            self._reply(frm)
+        else:
+            raise AssertionError(payload)
+
+    def _reply(self, frm):
+        stamp = time.time()  # repro: allow RS003 -- planted fixture site
+        self.send(frm, ("ping", stamp), tag="flood")

@@ -1,0 +1,16 @@
+"""Planted RS010: a handler mutates an object received in a payload."""
+
+
+class GrabbyProcess:
+    peer = None
+
+    def on_start(self):
+        self.send(self.peer, ("adopt", self), tag="flood")
+
+    def on_message(self, frm, payload):
+        kind = payload[0]
+        if kind == "adopt":
+            child = payload[1]
+            child.parent = self  # cross-process write through the payload
+        else:
+            raise AssertionError(payload)

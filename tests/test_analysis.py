@@ -37,6 +37,11 @@ FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
     ("rs003_wall_clock.py", "RS003"),
     ("rs004_adjacency.py", "RS004"),
     ("rs005_ctx_write.py", "RS005"),
+    ("rs006_unhandled_kind.py", "RS006"),
+    ("rs007_dead_handler.py", "RS007"),
+    ("rs008_untagged_send.py", "RS008"),
+    ("rs009_reachable_nondet.py", "RS009"),
+    ("rs010_payload_write.py", "RS010"),
 ])
 def test_fixture_triggers_exactly_its_rule(fixture, rule):
     source = (FIXTURES / fixture).read_text()
@@ -180,6 +185,35 @@ def test_cli_repo_tree_is_clean_or_baselined():
     src = Path(__file__).parent.parent / "src" / "repro"
     findings = collect_findings([src])
     assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_cli_flow_restricts_to_flow_rules(capsys):
+    # rs002 only plants a base-rule hazard: invisible under --flow.
+    assert main(["--flow", str(FIXTURES / "rs002_global_rng.py")]) == 0
+    assert main(["--flow", str(FIXTURES / "rs006_unhandled_kind.py")]) == 1
+    assert main(["--flow", "--rules", "RS001",
+                 str(FIXTURES / "clean.py")]) == 2
+    capsys.readouterr()
+
+
+def test_cli_github_format_annotations(capsys):
+    dirty = FIXTURES / "rs006_unhandled_kind.py"
+    assert main([str(dirty), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    (annotation,) = [ln for ln in out.splitlines()
+                     if ln.startswith("::error ")]
+    assert "title=RS006" in annotation
+    assert "file=" in annotation and "line=9" in annotation
+
+
+def test_cli_github_format_silent_when_baselined(tmp_path, capsys):
+    dirty = FIXTURES / "rs002_global_rng.py"
+    baseline = tmp_path / "baseline.json"
+    assert main([str(dirty), "--write-baseline", str(baseline)]) == 0
+    assert main([str(dirty), "--baseline", str(baseline),
+                 "--format", "github"]) == 0
+    out = capsys.readouterr().out
+    assert "::error" not in out
 
 
 # --------------------------------------------------------------------- #

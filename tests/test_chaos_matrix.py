@@ -17,7 +17,8 @@ import pytest
 
 from repro.experiments.chaos import DROP_RATES, chaos_matrix, make_cases
 
-PROTOCOLS = ("broadcast", "convergecast", "dfs", "mst_ghs", "global_fn(slt)")
+PROTOCOLS = ("broadcast", "convergecast", "dfs", "mst_ghs", "mst_fast",
+             "global_fn(slt)")
 
 
 @pytest.fixture(scope="module")

@@ -22,7 +22,8 @@ from repro.experiments.parallel import chaos_rows, summarize_chaos_entry
 from repro.faults import FaultPlan, run_chaos
 from repro.sim.events import EventQueue
 
-PROTOCOLS = ("broadcast", "convergecast", "dfs", "mst_ghs", "global_fn(slt)")
+PROTOCOLS = ("broadcast", "convergecast", "dfs", "mst_ghs", "mst_fast",
+             "global_fn(slt)")
 
 
 def _chaos_fingerprint(protocol: str, *, drop: float, reliable: bool) -> bytes:

@@ -1,0 +1,171 @@
+"""Tests for repro.analysis.flow: message-flow extraction and exporters.
+
+The headline contract — every message kind a protocol module sends has a
+handler arm in that module, and every handler arm has a sender — is
+asserted over the full certified surface (:data:`PROTOCOL_MODULES`), with
+a golden structural test for the richest machine (GHS MST).
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+
+import pytest
+
+from repro.analysis.flow import (
+    PROTOCOL_MODULES,
+    ModuleFlow,
+    extract_module_flow,
+    flow_of_source,
+    flow_to_ascii,
+    flow_to_dot,
+)
+
+GHS_KINDS = frozenset({
+    "connect", "initiate", "test", "accept",
+    "reject", "report", "change_root", "halt",
+})
+
+
+def _flow_of_module(name: str) -> ModuleFlow:
+    mod = importlib.import_module(name)
+    source = inspect.getsource(mod)
+    return extract_module_flow(ast.parse(source), path=name, source=source)
+
+
+# --------------------------------------------------------------------- #
+# The send/handle contract over the certified surface
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("module", PROTOCOL_MODULES)
+def test_sent_kinds_equal_handled_kinds(module):
+    flow = _flow_of_module(module)
+    assert flow.sent_kinds == flow.handled_kinds, (
+        f"{module}: sent {sorted(flow.sent_kinds)} "
+        f"!= handled {sorted(flow.handled_kinds)}"
+    )
+
+
+def test_certified_surface_is_not_trivial():
+    """Most of the certified modules carry literal-kind traffic."""
+    nonempty = [m for m in PROTOCOL_MODULES
+                if _flow_of_module(m).sent_kinds]
+    assert len(nonempty) >= 8
+
+
+# --------------------------------------------------------------------- #
+# Golden graph: GHS MST
+# --------------------------------------------------------------------- #
+
+
+def test_mst_ghs_golden_flow_graph():
+    flow = _flow_of_module("repro.protocols.mst_ghs")
+    assert flow.sent_kinds == GHS_KINDS
+    assert flow.handled_kinds == GHS_KINDS
+
+    graph = flow.graph()
+    assert set(graph) == set(GHS_KINDS)
+    # Every kind funnels through the single dispatch ladder.
+    for node in graph.values():
+        assert "GhsProcess._try" in node.handlers
+    # Structural spot checks against the paper's phase machine.
+    assert "initiate" in graph["connect"].responds
+    assert {"accept", "reject"} <= graph["test"].responds
+    assert "halt" in graph["halt"].responds  # halt floods down the tree
+    assert "GhsProcess._wakeup" in graph["connect"].senders
+
+
+# --------------------------------------------------------------------- #
+# Extraction specifics on inline sources
+# --------------------------------------------------------------------- #
+
+
+def test_cross_class_traffic_satisfies_module_contract():
+    source = """
+class PingerProcess:
+    def on_start(self):
+        self.send(0, ("ping",), tag="flood")
+
+class PongerProcess:
+    def on_message(self, frm, payload):
+        kind = payload[0]
+        if kind == "ping":
+            self.finish(None)
+        else:
+            raise AssertionError(payload)
+"""
+    flow = flow_of_source(source)
+    assert flow.sent_kinds == flow.handled_kinds == {"ping"}
+
+
+def test_wildcard_else_arm_is_recorded():
+    source = """
+class LenientProcess:
+    def on_message(self, frm, payload):
+        kind = payload[0]
+        if kind == "ping":
+            self.finish(None)
+        else:
+            self.handle_control(frm, payload)
+"""
+    flow = flow_of_source(source)
+    assert flow.wildcard
+
+
+def test_helper_sends_reach_responds_through_call_graph():
+    source = """
+class RelayProcess:
+    def on_message(self, frm, payload):
+        kind = payload[0]
+        if kind == "ask":
+            self._answer(frm)
+        elif kind == "tell":
+            self.finish(None)
+        else:
+            raise AssertionError(payload)
+
+    def _answer(self, frm):
+        self.send(frm, ("tell",), tag="flood")
+
+    def on_start(self):
+        self.send(0, ("ask",), tag="flood")
+"""
+    flow = flow_of_source(source)
+    assert flow.sent_kinds == flow.handled_kinds == {"ask", "tell"}
+    assert flow.graph()["ask"].responds == {"tell"}
+
+
+# --------------------------------------------------------------------- #
+# Exporters: deterministic DOT / ASCII
+# --------------------------------------------------------------------- #
+
+
+def test_exporters_are_deterministic():
+    flows = [_flow_of_module(m) for m in PROTOCOL_MODULES]
+    dot_a, dot_b = flow_to_dot(flows), flow_to_dot(flows)
+    assert dot_a == dot_b
+    assert dot_a.startswith("digraph message_flow {")
+    for flow in flows:
+        assert flow_to_ascii(flow) == flow_to_ascii(flow)
+
+
+def test_ascii_export_shape():
+    text = flow_to_ascii(_flow_of_module("repro.protocols.mst_ghs"))
+    assert text.endswith("\n")
+    for kind in sorted(GHS_KINDS):
+        assert f"[{kind}]" in text
+    assert "GhsProcess._try" in text
+
+
+def test_ascii_export_empty_module():
+    text = flow_to_ascii(flow_of_source("x = 1\n", path="empty.py"))
+    assert "no literal-kind message traffic" in text
+
+
+def test_dot_export_contains_response_edges():
+    dot = flow_to_dot([_flow_of_module("repro.protocols.mst_ghs")])
+    assert '"repro.protocols.mst_ghs:connect" -> ' \
+           '"repro.protocols.mst_ghs:initiate";' in dot

@@ -137,8 +137,8 @@ def test_cell_seed_stable_across_interpreters():
 def test_chaos_cells_enumerate_matrix_in_row_order():
     cells = chaos_cells(n=10, extra_edges=12, graph_seed=4,
                         drop_rates=(0.0, 0.2))
-    # 5 protocols x (reliable@0.0 + reliable@0.2 + raw@0.2).
-    assert len(cells) == 15
+    # 6 protocols x (reliable@0.0 + reliable@0.2 + raw@0.2).
+    assert len(cells) == 18
     broadcast = [c for c in cells if c.protocol == "broadcast"]
     assert [(c.drop, c.reliable) for c in broadcast] == [
         (0.0, True), (0.2, True), (0.2, False),
@@ -151,7 +151,7 @@ def test_chaos_cells_respect_include_raw_flag():
     cells = chaos_cells(n=10, extra_edges=12, graph_seed=4,
                         drop_rates=(0.0, 0.2), include_raw=False)
     assert all(c.reliable for c in cells)
-    assert len(cells) == 10
+    assert len(cells) == 12
 
 
 def test_chaos_cell_is_picklable_and_hashable():
